@@ -1,0 +1,105 @@
+// Command enclave is an interactive Enclaves group member: it joins a
+// leader over TCP with the improved intrusion-tolerant protocol, multicasts
+// each stdin line to the group, and prints group events as they arrive.
+//
+// Usage:
+//
+//	enclave -addr 127.0.0.1:7465 -leader leader -user alice -password secret
+//
+// Type a line and press enter to multicast it; EOF (ctrl-D) leaves the
+// group cleanly.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"enclaves/internal/crypto"
+	"enclaves/internal/member"
+	"enclaves/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "enclave:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("enclave", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7465", "leader TCP address")
+		leader   = fs.String("leader", "leader", "leader identity")
+		user     = fs.String("user", "", "your identity")
+		password = fs.String("password", "", "your long-term password")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *user == "" || *password == "" {
+		return fmt.Errorf("-user and -password are required")
+	}
+
+	conn, err := transport.DialTCP(*addr)
+	if err != nil {
+		return err
+	}
+	m, err := member.Join(conn, *user, *leader, crypto.DeriveKey(*user, *leader, *password))
+	if err != nil {
+		return fmt.Errorf("join: %w", err)
+	}
+	if err := m.WaitReady(10 * time.Second); err != nil {
+		return fmt.Errorf("waiting for group key: %w", err)
+	}
+	fmt.Fprintf(stdout, "* joined group at %s as %s\n", *addr, *user)
+
+	// Event printer.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			ev, err := m.Next()
+			if err != nil {
+				return
+			}
+			switch ev.Kind {
+			case member.EventJoined:
+				fmt.Fprintf(stdout, "* %s joined (members: %s)\n", ev.Name, strings.Join(m.Members(), ", "))
+			case member.EventLeft:
+				fmt.Fprintf(stdout, "* %s left (members: %s)\n", ev.Name, strings.Join(m.Members(), ", "))
+			case member.EventRekey:
+				fmt.Fprintf(stdout, "* group rekeyed (epoch %d)\n", ev.Epoch)
+			case member.EventData:
+				fmt.Fprintf(stdout, "<%s> %s\n", ev.From, ev.Data)
+			case member.EventClosed:
+				if ev.Err != nil {
+					fmt.Fprintf(stdout, "* session closed: %v\n", ev.Err)
+				}
+				return
+			}
+		}
+	}()
+
+	sc := bufio.NewScanner(stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if err := m.SendData([]byte(line)); err != nil {
+			fmt.Fprintf(os.Stderr, "send: %v\n", err)
+		}
+	}
+	if err := m.Leave(); err != nil {
+		return fmt.Errorf("leave: %w", err)
+	}
+	<-done
+	fmt.Fprintln(stdout, "* left group")
+	return sc.Err()
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"enclaves/internal/crypto"
+	"enclaves/internal/group"
+	"enclaves/internal/transport"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for CLI output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestCLIEndToEnd runs a real leader over TCP and drives two enclave CLI
+// sessions against it: one scripted sender and one receiver.
+func TestCLIEndToEnd(t *testing.T) {
+	users := map[string]crypto.Key{
+		"alice": crypto.DeriveKey("alice", "leader", "pa"),
+		"bob":   crypto.DeriveKey("bob", "leader", "pb"),
+	}
+	g, err := group.NewLeader(group.Config{Name: "leader", Users: users, Rekey: group.DefaultRekeyPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go g.Serve(l)
+	defer func() {
+		g.Close()
+		l.Close()
+	}()
+
+	// Bob's CLI: blocks on a pipe we never write, so it stays joined and
+	// prints incoming messages until we close the pipe.
+	bobIn, bobInW := io.Pipe()
+	var bobOut syncBuffer
+	bobDone := make(chan error, 1)
+	go func() {
+		bobDone <- run([]string{
+			"-addr", l.Addr(), "-user", "bob", "-password", "pb",
+		}, bobIn, &bobOut)
+	}()
+	waitContains(t, bobOut.String, "* joined group")
+
+	// Alice's CLI: sends two lines and leaves (EOF).
+	var aliceOut syncBuffer
+	aliceIn := strings.NewReader("hello from the CLI\nsecond line\n")
+	if err := run([]string{
+		"-addr", l.Addr(), "-user", "alice", "-password", "pa",
+	}, aliceIn, &aliceOut); err != nil {
+		t.Fatalf("alice CLI: %v\n%s", err, aliceOut.String())
+	}
+	if !strings.Contains(aliceOut.String(), "* left group") {
+		t.Errorf("alice output missing leave: %q", aliceOut.String())
+	}
+
+	// Bob saw alice join, her messages, and her departure.
+	waitContains(t, bobOut.String, "<alice> hello from the CLI")
+	waitContains(t, bobOut.String, "<alice> second line")
+	waitContains(t, bobOut.String, "* alice left")
+
+	// End bob's session via EOF.
+	bobInW.Close()
+	select {
+	case err := <-bobDone:
+		if err != nil {
+			t.Errorf("bob CLI: %v\n%s", err, bobOut.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("bob CLI did not exit on EOF")
+	}
+}
+
+func TestCLIRejectsWrongPassword(t *testing.T) {
+	users := map[string]crypto.Key{"alice": crypto.DeriveKey("alice", "leader", "right")}
+	g, err := group.NewLeader(group.Config{Name: "leader", Users: users})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go g.Serve(l)
+	defer func() {
+		g.Close()
+		l.Close()
+	}()
+
+	var out syncBuffer
+	err = run([]string{"-addr", l.Addr(), "-user", "alice", "-password", "wrong"},
+		strings.NewReader(""), &out)
+	if err == nil {
+		t.Fatal("CLI joined with a wrong password")
+	}
+}
+
+func TestCLIRequiresCredentials(t *testing.T) {
+	var out syncBuffer
+	if err := run([]string{"-user", "alice"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing password accepted")
+	}
+	if err := run([]string{"-password", "x"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing user accepted")
+	}
+}
+
+func waitContains(t *testing.T, get func() string, want string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if strings.Contains(get(), want) {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("output never contained %q; got:\n%s", want, get())
+}

@@ -1,0 +1,143 @@
+// Command enclaved runs an Enclaves group leader over TCP, speaking the
+// improved intrusion-tolerant protocol of the DSN'01 paper.
+//
+// Usage:
+//
+//	enclaved -addr 127.0.0.1:7465 -name leader -users users.txt [-rekey join,leave]
+//
+// The users file holds one "name:password" pair per line; lines starting
+// with # are ignored. Passwords are the long-term secrets from which the
+// per-user keys P_a are derived; in a real deployment distribute them out
+// of band.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"enclaves/internal/crypto"
+	"enclaves/internal/group"
+	"enclaves/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "enclaved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("enclaved", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:7465", "TCP listen address")
+		name      = fs.String("name", "leader", "leader identity")
+		usersPath = fs.String("users", "", "path to users file (name:password per line)")
+		rekeyOn   = fs.String("rekey", "join,leave", "rekey policy: comma-set of {join,leave,none}")
+		verbose   = fs.Bool("v", false, "verbose logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *usersPath == "" {
+		return fmt.Errorf("-users is required")
+	}
+	users, err := loadUsers(*usersPath, *name)
+	if err != nil {
+		return err
+	}
+	policy, err := parsePolicy(*rekeyOn)
+	if err != nil {
+		return err
+	}
+
+	logf := func(string, ...any) {}
+	var onEvent func(group.Event)
+	if *verbose {
+		logf = log.Printf
+		onEvent = func(e group.Event) { log.Printf("enclaved: audit: %s", e) }
+	}
+	leader, err := group.NewLeader(group.Config{
+		Name:    *name,
+		Users:   users,
+		Rekey:   policy,
+		Logf:    logf,
+		OnEvent: onEvent,
+	})
+	if err != nil {
+		return err
+	}
+	l, err := transport.ListenTCP(*addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("enclaved: leader %q serving %d users on %s (rekey on %s)",
+		*name, len(users), l.Addr(), *rekeyOn)
+
+	// Graceful shutdown on SIGINT/SIGTERM: close the listener and every
+	// member connection, then exit cleanly.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		log.Printf("enclaved: %v, shutting down", sig)
+		l.Close()
+		leader.Close()
+	}()
+	return leader.Serve(l)
+}
+
+// loadUsers parses the "name:password" users file into long-term keys.
+func loadUsers(path, leader string) (map[string]crypto.Key, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	users := make(map[string]crypto.Key)
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, password, ok := strings.Cut(line, ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("%s:%d: expected name:password", path, lineNo)
+		}
+		users[name] = crypto.DeriveKey(name, leader, password)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(users) == 0 {
+		return nil, fmt.Errorf("%s: no users", path)
+	}
+	return users, nil
+}
+
+// parsePolicy parses the -rekey flag.
+func parsePolicy(s string) (group.RekeyPolicy, error) {
+	var p group.RekeyPolicy
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "join":
+			p.OnJoin = true
+		case "leave":
+			p.OnLeave = true
+		case "none", "":
+		default:
+			return p, fmt.Errorf("unknown rekey policy element %q", part)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadUsers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "users.txt")
+	content := `# comment
+alice:secret1
+
+bob:secret:with:colons
+`
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	users, err := loadUsers(path, "leader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != 2 {
+		t.Fatalf("got %d users, want 2", len(users))
+	}
+	if !users["alice"].Valid() || !users["bob"].Valid() {
+		t.Error("derived keys invalid")
+	}
+	// Passwords with colons keep everything after the first colon.
+	if users["alice"].Equal(users["bob"]) {
+		t.Error("distinct users derived the same key")
+	}
+}
+
+func TestLoadUsersErrors(t *testing.T) {
+	dir := t.TempDir()
+
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, []byte("# nothing\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadUsers(empty, "leader"); err == nil {
+		t.Error("empty users file accepted")
+	}
+
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("no-colon-here\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadUsers(bad, "leader"); err == nil {
+		t.Error("malformed line accepted")
+	}
+
+	if _, err := loadUsers(filepath.Join(dir, "missing.txt"), "leader"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	tests := []struct {
+		give                string
+		wantJoin, wantLeave bool
+		wantErr             bool
+	}{
+		{give: "join,leave", wantJoin: true, wantLeave: true},
+		{give: "join", wantJoin: true},
+		{give: "leave", wantLeave: true},
+		{give: "none"},
+		{give: ""},
+		{give: " join , leave ", wantJoin: true, wantLeave: true},
+		{give: "hourly", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			p, err := parsePolicy(tt.give)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, tt.wantErr)
+			}
+			if err != nil {
+				return
+			}
+			if p.OnJoin != tt.wantJoin || p.OnLeave != tt.wantLeave {
+				t.Errorf("policy = %+v", p)
+			}
+		})
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallBounds(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sessions", "1", "-admin", "1", "-rekeys", "2"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"secrecy of long-term key P_a",
+		"secrecy of in-use session keys K_a",
+		"Verification diagram",
+		"ATTACK FOUND",
+		"All obligations discharged",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunWithFSM(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sessions", "1", "-admin", "1", "-fsm"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "User A (Figure 2)") || !strings.Contains(s, "Leader L, per user A (Figure 3)") {
+		t.Error("FSM rendering missing")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sessions", "1", "-admin", "1", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if rep["allHold"] != true {
+		t.Errorf("allHold = %v", rep["allHold"])
+	}
+	if _, ok := rep["diagramBoxCounts"].(map[string]any); !ok {
+		t.Error("missing diagramBoxCounts")
+	}
+	if n, ok := rep["states"].(float64); !ok || n < 1 {
+		t.Errorf("states = %v", rep["states"])
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sessions", "1", "-admin", "1", "-dot"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "digraph figure4") {
+		t.Errorf("not DOT output: %q", out.String())
+	}
+}

@@ -1,0 +1,177 @@
+// Chat: a multi-member group chat over real TCP connections.
+//
+// A leader and four members run inside this process, each member on its own
+// TCP connection to the leader, exchanging a scripted conversation while
+// members join and leave mid-chat. Every message is end-to-end encrypted
+// under the group key; joins and leaves rotate the key so late joiners
+// cannot read history and leavers cannot read the future.
+//
+// Run with:
+//
+//	go run ./examples/chat
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"enclaves/internal/crypto"
+	"enclaves/internal/group"
+	"enclaves/internal/member"
+	"enclaves/internal/transport"
+)
+
+const leaderName = "chat-server"
+
+var script = []struct {
+	who  string
+	line string
+}{
+	{"alice", "hi all — shall we review the draft?"},
+	{"bob", "yes, section 3 first"},
+	{"carol", "I pushed my comments this morning"},
+	{"alice", "dave is joining with the numbers"},
+	// dave joins here
+	{"dave", "here: the new results are in the shared sheet"},
+	{"bob", "great, looks solid"},
+	// carol leaves here
+	{"alice", "carol had to drop; let's wrap up"},
+	{"dave", "agreed, same time tomorrow"},
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	passwords := map[string]string{
+		"alice": "a-pw", "bob": "b-pw", "carol": "c-pw", "dave": "d-pw",
+	}
+	users := make(map[string]crypto.Key, len(passwords))
+	for u, pw := range passwords {
+		users[u] = crypto.DeriveKey(u, leaderName, pw)
+	}
+
+	leader, err := group.NewLeader(group.Config{
+		Name:  leaderName,
+		Users: users,
+		Rekey: group.DefaultRekeyPolicy(),
+	})
+	if err != nil {
+		return err
+	}
+	listener, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go leader.Serve(listener)
+	defer leader.Close()
+	fmt.Printf("chat server on %s\n\n", listener.Addr())
+
+	members := make(map[string]*member.Member)
+	var printMu sync.Mutex
+	join := func(user string) error {
+		conn, err := transport.DialTCP(listener.Addr())
+		if err != nil {
+			return err
+		}
+		m, err := member.Join(conn, user, leaderName, users[user])
+		if err != nil {
+			return err
+		}
+		members[user] = m
+		go printEvents(&printMu, m)
+		printMu.Lock()
+		fmt.Printf("        -- %s connected --\n", user)
+		printMu.Unlock()
+		return nil
+	}
+
+	for _, u := range []string{"alice", "bob", "carol"} {
+		if err := join(u); err != nil {
+			return err
+		}
+	}
+	waitConverged(leader, members)
+
+	for i, msg := range script {
+		// Mid-script churn: dave joins before line 4, carol leaves before
+		// line 6.
+		if i == 4 {
+			if err := join("dave"); err != nil {
+				return err
+			}
+			waitConverged(leader, members)
+		}
+		if i == 6 {
+			if err := members["carol"].Leave(); err != nil {
+				return err
+			}
+			delete(members, "carol")
+			printMu.Lock()
+			fmt.Println("        -- carol left --")
+			printMu.Unlock()
+			waitConverged(leader, members)
+		}
+
+		m := members[msg.who]
+		if err := m.SendData([]byte(msg.line)); err != nil {
+			return fmt.Errorf("%s send: %w", msg.who, err)
+		}
+		printMu.Lock()
+		fmt.Printf("%8s> %s\n", msg.who, msg.line)
+		printMu.Unlock()
+		time.Sleep(20 * time.Millisecond) // let the relay drain for tidy output
+	}
+
+	time.Sleep(100 * time.Millisecond)
+	fmt.Printf("\nfinal members at leader: %v (epoch %d)\n", leader.Members(), leader.Epoch())
+	for _, m := range members {
+		if err := m.Leave(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printEvents prints data and membership events for one member.
+func printEvents(mu *sync.Mutex, m *member.Member) {
+	for {
+		ev, err := m.Next()
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		switch ev.Kind {
+		case member.EventData:
+			fmt.Printf("%8s< [%s] %s\n", m.Name(), ev.From, ev.Data)
+		case member.EventRekey:
+			fmt.Printf("%8s* new group key (epoch %d)\n", m.Name(), ev.Epoch)
+		}
+		mu.Unlock()
+		if ev.Kind == member.EventClosed {
+			return
+		}
+	}
+}
+
+// waitConverged waits until every member is on the leader's epoch.
+func waitConverged(leader *group.Leader, members map[string]*member.Member) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, m := range members {
+			if m.Epoch() != leader.Epoch() {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,3 @@
+module enclaves
+
+go 1.22

@@ -1,0 +1,102 @@
+package attack
+
+import (
+	"strings"
+	"testing"
+)
+
+func runScenario(t *testing.T, run func() (Outcome, error), wantSuccess bool) Outcome {
+	t.Helper()
+	o, err := run()
+	if err != nil {
+		t.Fatalf("scenario error: %v", err)
+	}
+	if o.Succeeded != wantSuccess {
+		t.Fatalf("attack outcome = %v, want %v: %s", o.Succeeded, wantSuccess, o.Detail)
+	}
+	if !o.AsExpected() {
+		t.Fatalf("outcome disagrees with the paper: %s", o)
+	}
+	return o
+}
+
+func TestForgedDenied(t *testing.T) {
+	runScenario(t, ForgedDenialLegacy, true)
+}
+
+func TestForgedDeniedImprovedResists(t *testing.T) {
+	runScenario(t, ForgedDenialImproved, false)
+}
+
+func TestForgedMemRemoved(t *testing.T) {
+	runScenario(t, MembershipForgeryLegacy, true)
+}
+
+func TestForgedMemRemovedImprovedResists(t *testing.T) {
+	runScenario(t, MembershipForgeryImproved, false)
+}
+
+func TestReplayNewKey(t *testing.T) {
+	runScenario(t, KeyRollbackLegacy, true)
+}
+
+func TestReplayNewKeyImprovedResists(t *testing.T) {
+	runScenario(t, KeyRollbackImproved, false)
+}
+
+func TestForcedDisconnect(t *testing.T) {
+	runScenario(t, ForcedDisconnectLegacy, true)
+}
+
+func TestForcedDisconnectImprovedResists(t *testing.T) {
+	runScenario(t, ForcedDisconnectImproved, false)
+}
+
+func TestImprovedResistsAll(t *testing.T) {
+	for _, s := range All() {
+		if s.Protocol != "improved" {
+			continue
+		}
+		s := s
+		t.Run(s.ID, func(t *testing.T) {
+			o, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o.Succeeded {
+				t.Errorf("improved protocol fell to %s: %s", s.ID, o.Detail)
+			}
+		})
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	outcomes, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 9 {
+		t.Fatalf("got %d outcomes, want 9", len(outcomes))
+	}
+	for _, o := range outcomes {
+		if !o.AsExpected() {
+			t.Errorf("outcome disagrees with the paper: %s", o)
+		}
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	o := Outcome{ID: "A1", Name: "x", Protocol: "legacy", Succeeded: true, Expected: true, Detail: "d"}
+	s := o.String()
+	if !strings.Contains(s, "ATTACK SUCCEEDED") || !strings.Contains(s, "as the paper predicts") {
+		t.Errorf("String = %q", s)
+	}
+	o.Expected = false
+	if !strings.Contains(o.String(), "DISAGREES") {
+		t.Errorf("String = %q", o.String())
+	}
+}
+
+func TestOldSessionKeyCompromise(t *testing.T) {
+	runScenario(t, OldSessionKeyCompromise, false)
+}

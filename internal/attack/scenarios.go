@@ -1,0 +1,557 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"enclaves/internal/crypto"
+	"enclaves/internal/group"
+	"enclaves/internal/legacy"
+	"enclaves/internal/member"
+	"enclaves/internal/transport"
+	"enclaves/internal/wire"
+)
+
+const (
+	leaderName = "leader"
+	victimName = "alice"
+	evilName   = "eve"
+)
+
+func userKeys(users ...string) map[string]crypto.Key {
+	keys := make(map[string]crypto.Key, len(users))
+	for _, u := range users {
+		keys[u] = crypto.DeriveKey(u, leaderName, u+"-pw")
+	}
+	return keys
+}
+
+func keyOf(user string) crypto.Key {
+	return crypto.DeriveKey(user, leaderName, user+"-pw")
+}
+
+// --- legacy test bench ---
+
+type legacyBench struct {
+	leader *legacy.Leader
+	net    *transport.MemNetwork
+	list   transport.Listener
+}
+
+func newLegacyBench(users ...string) (*legacyBench, error) {
+	g, err := legacy.NewLeader(legacy.LeaderConfig{
+		Name:         leaderName,
+		Users:        userKeys(users...),
+		RekeyOnLeave: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	net := transport.NewMemNetwork()
+	l, err := net.Listen(leaderName)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = g.Serve(l) }()
+	return &legacyBench{leader: g, net: net, list: l}, nil
+}
+
+func (b *legacyBench) close() {
+	b.leader.Close()
+	b.list.Close()
+	b.net.Close()
+}
+
+// --- improved test bench ---
+
+type improvedBench struct {
+	leader *group.Leader
+	net    *transport.MemNetwork
+	list   transport.Listener
+}
+
+func newImprovedBench(users ...string) (*improvedBench, error) {
+	g, err := group.NewLeader(group.Config{
+		Name:  leaderName,
+		Users: userKeys(users...),
+		Rekey: group.RekeyPolicy{OnLeave: true},
+	})
+	if err != nil {
+		return nil, err
+	}
+	net := transport.NewMemNetwork()
+	l, err := net.Listen(leaderName)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = g.Serve(l) }()
+	return &improvedBench{leader: g, net: net, list: l}, nil
+}
+
+func (b *improvedBench) close() {
+	b.leader.Close()
+	b.list.Close()
+	b.net.Close()
+}
+
+func contains(list []string, want string) bool {
+	for _, s := range list {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// --- A1: forged connection_denied -------------------------------------------
+
+// ForgedDenialLegacy forges the plaintext connection_denied of the legacy
+// pre-authentication exchange; the victim gives up although the leader
+// would have accepted it (Section 2.3, first attack).
+func ForgedDenialLegacy() (Outcome, error) {
+	out := Outcome{ID: "A1", Name: "forged connection_denied (DoS)", Protocol: "legacy", Expected: true}
+	b, err := newLegacyBench(victimName)
+	if err != nil {
+		return out, err
+	}
+	defer b.close()
+
+	conn, link, err := interceptedDial(b.net, leaderName)
+	if err != nil {
+		return out, err
+	}
+	// Suppress the genuine ack_open and pre-inject the forged denial.
+	link.SetFilter(func(d transport.Direction, e wire.Envelope) bool {
+		return !(d == transport.BToA && e.Type == wire.TypeAckOpen)
+	})
+	denial := wire.Envelope{Type: wire.TypeConnDenied, Sender: leaderName, Receiver: victimName,
+		Payload: wire.LegacyOpenPayload{From: leaderName}.Marshal()}
+	if err := link.Inject(transport.BToA, denial); err != nil {
+		return out, err
+	}
+
+	_, joinErr := legacy.Join(conn, victimName, leaderName, keyOf(victimName))
+	out.Succeeded = errors.Is(joinErr, legacy.ErrDenied)
+	if out.Succeeded {
+		out.Detail = "victim believed the forged denial and gave up"
+	} else {
+		out.Detail = fmt.Sprintf("victim not denied (err=%v)", joinErr)
+	}
+	return out, nil
+}
+
+// ForgedDenialImproved repeats the attack against the improved protocol:
+// the pre-authentication exchange no longer exists, so there is nothing
+// unauthenticated to forge; injected junk is ignored and the join completes.
+func ForgedDenialImproved() (Outcome, error) {
+	out := Outcome{ID: "A1", Name: "forged connection_denied (DoS)", Protocol: "improved", Expected: false}
+	b, err := newImprovedBench(victimName)
+	if err != nil {
+		return out, err
+	}
+	defer b.close()
+
+	conn, link, err := interceptedDial(b.net, leaderName)
+	if err != nil {
+		return out, err
+	}
+	// The attacker injects both a legacy-style denial and a garbage
+	// AuthKeyDist before the genuine reply can arrive.
+	denial := wire.Envelope{Type: wire.TypeConnDenied, Sender: leaderName, Receiver: victimName,
+		Payload: wire.LegacyOpenPayload{From: leaderName}.Marshal()}
+	garbage := wire.Envelope{Type: wire.TypeAuthKeyDist, Sender: leaderName, Receiver: victimName,
+		Payload: []byte("not a ciphertext")}
+	if err := link.Inject(transport.BToA, denial); err != nil {
+		return out, err
+	}
+	if err := link.Inject(transport.BToA, garbage); err != nil {
+		return out, err
+	}
+
+	m, joinErr := member.Join(conn, victimName, leaderName, keyOf(victimName))
+	if joinErr != nil {
+		out.Succeeded = true
+		out.Detail = fmt.Sprintf("join blocked: %v", joinErr)
+		return out, nil
+	}
+	defer m.Leave()
+	out.Succeeded = false
+	out.Detail = "injected junk ignored; victim joined normally"
+	return out, nil
+}
+
+// --- A2: insider forges mem_removed ------------------------------------------
+
+// MembershipForgeryLegacy has the insider eve forge mem_removed({eve})
+// under the shared group key, convincing the victim that eve has left while
+// the leader still counts her as a member (Section 2.3, second attack).
+func MembershipForgeryLegacy() (Outcome, error) {
+	out := Outcome{ID: "A2", Name: "insider forges mem_removed", Protocol: "legacy", Expected: true}
+	b, err := newLegacyBench(victimName, evilName)
+	if err != nil {
+		return out, err
+	}
+	defer b.close()
+
+	conn, link, err := interceptedDial(b.net, leaderName)
+	if err != nil {
+		return out, err
+	}
+	victim, err := legacy.Join(conn, victimName, leaderName, keyOf(victimName))
+	if err != nil {
+		return out, err
+	}
+	evilConn, err := b.net.Dial(leaderName)
+	if err != nil {
+		return out, err
+	}
+	evil, err := legacy.Join(evilConn, evilName, leaderName, keyOf(evilName))
+	if err != nil {
+		return out, err
+	}
+	if !waitUntil(settle, func() bool { return contains(victim.Members(), evilName) }) {
+		return out, errors.New("victim never saw the insider join")
+	}
+
+	// Eve seals the forgery with the group key she legitimately holds.
+	kg, _ := evil.GroupKey()
+	forged := wire.Envelope{Type: wire.TypeMemRemoved, Sender: leaderName, Receiver: victimName}
+	p := wire.LegacyMemberPayload{Name: evilName}
+	box, err := crypto.Seal(kg, p.Marshal(), forged.Header())
+	if err != nil {
+		return out, err
+	}
+	forged.Payload = box
+	if err := link.Inject(transport.BToA, forged); err != nil {
+		return out, err
+	}
+
+	dropped := waitUntil(settle, func() bool { return !contains(victim.Members(), evilName) })
+	stillMember := contains(b.leader.Members(), evilName)
+	out.Succeeded = dropped && stillMember
+	if out.Succeeded {
+		out.Detail = "victim's view dropped the insider; leader still lists her"
+	} else {
+		out.Detail = fmt.Sprintf("dropped=%v leaderStillHasEve=%v", dropped, stillMember)
+	}
+	return out, nil
+}
+
+// MembershipForgeryImproved repeats the forgery against the improved
+// protocol: membership changes travel as AdminMsg under the victim's
+// per-member session key, which the insider does not hold. Knowing the
+// group key no longer helps.
+func MembershipForgeryImproved() (Outcome, error) {
+	out := Outcome{ID: "A2", Name: "insider forges mem_removed", Protocol: "improved", Expected: false}
+	b, err := newImprovedBench(victimName, evilName)
+	if err != nil {
+		return out, err
+	}
+	defer b.close()
+
+	conn, link, err := interceptedDial(b.net, leaderName)
+	if err != nil {
+		return out, err
+	}
+	victim, err := member.Join(conn, victimName, leaderName, keyOf(victimName))
+	if err != nil {
+		return out, err
+	}
+	defer victim.Leave()
+	evilConn, err := b.net.Dial(leaderName)
+	if err != nil {
+		return out, err
+	}
+	evil, err := member.Join(evilConn, evilName, leaderName, keyOf(evilName))
+	if err != nil {
+		return out, err
+	}
+	defer evil.Leave()
+	if !waitUntil(settle, func() bool {
+		return contains(victim.Members(), evilName) && victim.Epoch() == evil.Epoch() && victim.Epoch() > 0
+	}) {
+		return out, errors.New("group never converged")
+	}
+
+	// Attempt 1: AdminMsg-shaped forgery under the (leaked) group key.
+	kg, _ := evil.GroupKey()
+	forged := wire.Envelope{Type: wire.TypeAdminMsg, Sender: leaderName, Receiver: victimName}
+	p := wire.AdminMsgPayload{Leader: leaderName, User: victimName, Seq: 99, Body: wire.MemberLeft{Name: evilName}}
+	box, err := crypto.Seal(kg, p.Marshal(), forged.Header())
+	if err != nil {
+		return out, err
+	}
+	forged.Payload = box
+	if err := link.Inject(transport.BToA, forged); err != nil {
+		return out, err
+	}
+	// Attempt 2: replay the leader's own earlier AdminMsg frames.
+	if _, err := link.ReplayMatching(func(c transport.Captured) bool {
+		return c.Dir == transport.BToA && c.Env.Type == wire.TypeAdminMsg
+	}); err != nil {
+		return out, err
+	}
+
+	rejected := waitUntil(settle, func() bool { return victim.Rejected() > 0 })
+	dropped := !contains(victim.Members(), evilName)
+	out.Succeeded = dropped
+	if dropped {
+		out.Detail = "victim's view corrupted"
+	} else {
+		out.Detail = fmt.Sprintf("view intact; %d forgeries rejected (observed=%v)", victim.Rejected(), rejected)
+	}
+	return out, nil
+}
+
+// --- A3: new_key replay / group-key rollback ---------------------------------
+
+// KeyRollbackLegacy replays an old new_key message after the insider was
+// expelled, rolling the victim back to a group key the expelled member
+// still holds (Section 2.3, third attack).
+func KeyRollbackLegacy() (Outcome, error) {
+	out := Outcome{ID: "A3", Name: "new_key replay (key rollback)", Protocol: "legacy", Expected: true}
+	b, err := newLegacyBench(victimName, evilName)
+	if err != nil {
+		return out, err
+	}
+	defer b.close()
+
+	conn, link, err := interceptedDial(b.net, leaderName)
+	if err != nil {
+		return out, err
+	}
+	victim, err := legacy.Join(conn, victimName, leaderName, keyOf(victimName))
+	if err != nil {
+		return out, err
+	}
+	evilConn, err := b.net.Dial(leaderName)
+	if err != nil {
+		return out, err
+	}
+	evil, err := legacy.Join(evilConn, evilName, leaderName, keyOf(evilName))
+	if err != nil {
+		return out, err
+	}
+	if !waitUntil(settle, func() bool { return len(b.leader.Members()) == 2 }) {
+		return out, errors.New("members never registered")
+	}
+
+	// Rekey while eve is a member: she legitimately receives epoch 2.
+	if err := b.leader.Rekey(); err != nil {
+		return out, err
+	}
+	if !waitUntil(settle, func() bool { return victim.Epoch() == 2 && evil.Epoch() == 2 }) {
+		return out, errors.New("epoch 2 never propagated")
+	}
+	leakedKey, _ := evil.GroupKey() // eve keeps this key after expulsion
+
+	// Expel eve; the on-leave policy rekeys to epoch 3.
+	if err := b.leader.Expel(evilName); err != nil {
+		return out, err
+	}
+	if !waitUntil(settle, func() bool { return victim.Epoch() == 3 }) {
+		return out, errors.New("epoch 3 never propagated")
+	}
+
+	// Replay the captured epoch-2 new_key (the first NewKey toward alice).
+	replayed := false
+	for i, c := range link.Captured() {
+		if c.Dir == transport.BToA && c.Env.Type == wire.TypeNewKey {
+			if err := link.Replay(i); err != nil {
+				return out, err
+			}
+			replayed = true
+			break
+		}
+	}
+	if !replayed {
+		return out, errors.New("no new_key frame captured")
+	}
+
+	rolled := waitUntil(settle, func() bool { return victim.Epoch() == 2 && victim.MaxEpoch() == 3 })
+	vk, _ := victim.GroupKey()
+	out.Succeeded = rolled && vk.Equal(leakedKey)
+	if out.Succeeded {
+		out.Detail = "victim rolled back to the expelled member's key"
+	} else {
+		out.Detail = fmt.Sprintf("rolled=%v keyMatchesLeak=%v (epoch=%d/max=%d)",
+			rolled, vk.Equal(leakedKey), victim.Epoch(), victim.MaxEpoch())
+	}
+	return out, nil
+}
+
+// KeyRollbackImproved repeats the replay against the improved protocol: key
+// distribution rides the AdminMsg exchange whose freshness is proven by the
+// victim's own latest nonce, so every replayed frame is rejected.
+func KeyRollbackImproved() (Outcome, error) {
+	out := Outcome{ID: "A3", Name: "new_key replay (key rollback)", Protocol: "improved", Expected: false}
+	b, err := newImprovedBench(victimName, evilName)
+	if err != nil {
+		return out, err
+	}
+	defer b.close()
+
+	conn, link, err := interceptedDial(b.net, leaderName)
+	if err != nil {
+		return out, err
+	}
+	victim, err := member.Join(conn, victimName, leaderName, keyOf(victimName))
+	if err != nil {
+		return out, err
+	}
+	defer victim.Leave()
+	evilConn, err := b.net.Dial(leaderName)
+	if err != nil {
+		return out, err
+	}
+	evil, err := member.Join(evilConn, evilName, leaderName, keyOf(evilName))
+	if err != nil {
+		return out, err
+	}
+	if !waitUntil(settle, func() bool { return len(b.leader.Members()) == 2 }) {
+		return out, errors.New("members never registered")
+	}
+	if err := b.leader.Rekey(); err != nil {
+		return out, err
+	}
+	epoch2 := b.leader.Epoch()
+	if !waitUntil(settle, func() bool { return victim.Epoch() == epoch2 }) {
+		return out, errors.New("rekey never propagated")
+	}
+	_ = evil
+
+	if err := b.leader.Expel(evilName); err != nil {
+		return out, err
+	}
+	epoch3 := b.leader.Epoch()
+	if epoch3 <= epoch2 {
+		return out, errors.New("no rekey after expel")
+	}
+	if !waitUntil(settle, func() bool { return victim.Epoch() == epoch3 }) {
+		return out, errors.New("post-expel rekey never propagated")
+	}
+
+	// Replay every AdminMsg the leader ever sent to the victim — including
+	// the epoch-2 key distribution.
+	n, err := link.ReplayMatching(func(c transport.Captured) bool {
+		return c.Dir == transport.BToA && c.Env.Type == wire.TypeAdminMsg
+	})
+	if err != nil {
+		return out, err
+	}
+	if n == 0 {
+		return out, errors.New("no AdminMsg frames captured")
+	}
+
+	waitUntil(settle, func() bool { return victim.Rejected() >= uint64(n) })
+	out.Succeeded = victim.Epoch() != epoch3
+	if out.Succeeded {
+		out.Detail = fmt.Sprintf("victim regressed to epoch %d", victim.Epoch())
+	} else {
+		out.Detail = fmt.Sprintf("all %d replays rejected; victim stays on epoch %d", n, epoch3)
+	}
+	return out, nil
+}
+
+// --- A4: forged close / forced disconnect ------------------------------------
+
+// ForcedDisconnectLegacy forges the PLAINTEXT req_close of the legacy
+// protocol; the leader closes the victim's session although the victim
+// never asked to leave.
+func ForcedDisconnectLegacy() (Outcome, error) {
+	out := Outcome{ID: "A4", Name: "forged close (forced disconnect)", Protocol: "legacy", Expected: true}
+	b, err := newLegacyBench(victimName)
+	if err != nil {
+		return out, err
+	}
+	defer b.close()
+
+	conn, link, err := interceptedDial(b.net, leaderName)
+	if err != nil {
+		return out, err
+	}
+	victim, err := legacy.Join(conn, victimName, leaderName, keyOf(victimName))
+	if err != nil {
+		return out, err
+	}
+	if !waitUntil(settle, func() bool { return contains(b.leader.Members(), victimName) }) {
+		return out, errors.New("victim never registered")
+	}
+
+	forged := wire.Envelope{Type: wire.TypeLegacyReqClose, Sender: victimName, Receiver: leaderName,
+		Payload: wire.LegacyOpenPayload{From: victimName}.Marshal()}
+	if err := link.Inject(transport.AToB, forged); err != nil {
+		return out, err
+	}
+
+	out.Succeeded = waitUntil(settle, func() bool { return !contains(b.leader.Members(), victimName) })
+	if out.Succeeded {
+		out.Detail = "leader closed the session on a forged plaintext req_close"
+	} else {
+		out.Detail = "leader kept the session"
+	}
+	_ = victim
+	return out, nil
+}
+
+// ForcedDisconnectImproved repeats the forgery against the improved
+// protocol: ReqClose is {A, L}_Ka, and the attacker does not hold the
+// session key, so the leader rejects the forgery and the session survives.
+func ForcedDisconnectImproved() (Outcome, error) {
+	out := Outcome{ID: "A4", Name: "forged close (forced disconnect)", Protocol: "improved", Expected: false}
+	b, err := newImprovedBench(victimName)
+	if err != nil {
+		return out, err
+	}
+	defer b.close()
+
+	conn, link, err := interceptedDial(b.net, leaderName)
+	if err != nil {
+		return out, err
+	}
+	victim, err := member.Join(conn, victimName, leaderName, keyOf(victimName))
+	if err != nil {
+		return out, err
+	}
+	defer victim.Leave()
+	if !waitUntil(settle, func() bool { return contains(b.leader.Members(), victimName) && victim.Epoch() > 0 }) {
+		return out, errors.New("victim never registered")
+	}
+
+	// Forge a ReqClose under a key the attacker invents, plus a replayed
+	// legacy-style plaintext close for good measure.
+	evilKey, err := crypto.NewKey()
+	if err != nil {
+		return out, err
+	}
+	forged := wire.Envelope{Type: wire.TypeReqClose, Sender: victimName, Receiver: leaderName}
+	box, err := crypto.Seal(evilKey, wire.ClosePayload{User: victimName, Leader: leaderName}.Marshal(), forged.Header())
+	if err != nil {
+		return out, err
+	}
+	forged.Payload = box
+	if err := link.Inject(transport.AToB, forged); err != nil {
+		return out, err
+	}
+	plaintext := wire.Envelope{Type: wire.TypeLegacyReqClose, Sender: victimName, Receiver: leaderName,
+		Payload: wire.LegacyOpenPayload{From: victimName}.Marshal()}
+	if err := link.Inject(transport.AToB, plaintext); err != nil {
+		return out, err
+	}
+
+	// Prove the session is still alive end to end: a rekey must reach the
+	// victim after the forgeries.
+	epochBefore := victim.Epoch()
+	if err := b.leader.Rekey(); err != nil {
+		return out, err
+	}
+	alive := waitUntil(settle, func() bool { return victim.Epoch() > epochBefore })
+	stillMember := contains(b.leader.Members(), victimName)
+	out.Succeeded = !(alive && stillMember)
+	if out.Succeeded {
+		out.Detail = fmt.Sprintf("session damaged (alive=%v member=%v)", alive, stillMember)
+	} else {
+		out.Detail = "forgeries rejected; session fully live afterwards"
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package checker
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"enclaves/internal/model"
+)
+
+// Report bundles a full verification run: the Section 5 obligations over the
+// improved protocol and the Section 2.3 attack findings over the legacy
+// baseline. cmd/verify renders it; EXPERIMENTS.md records it.
+type Report struct {
+	Config   model.Config
+	States   int
+	Edges    int
+	Depth    int
+	Improved []Obligation
+	Diagram  *DiagramResult
+
+	LegacyConfig model.LegacyConfig
+	LegacyStates int
+	LegacyDepth  int
+	Legacy       []Obligation
+}
+
+// Run performs the complete verification: explore the improved model, check
+// every invariant and the verification diagram, then explore the legacy
+// model and collect the attacks.
+func Run(cfg model.Config, legacyCfg model.LegacyConfig) *Report {
+	ex := Explore(cfg)
+	rep := &Report{
+		Config:   cfg,
+		States:   len(ex.Nodes),
+		Edges:    len(ex.Edges),
+		Depth:    ex.Depth,
+		Improved: AllInvariants(ex),
+	}
+	rep.Diagram = CheckDiagram(ex)
+	rep.Improved = append(rep.Improved, rep.Diagram.Obligations...)
+
+	lex := ExploreLegacy(legacyCfg)
+	rep.LegacyConfig = legacyCfg
+	rep.LegacyStates = len(lex.Nodes)
+	rep.LegacyDepth = lex.Depth
+	rep.Legacy = LegacyObligations(lex)
+	return rep
+}
+
+// AllHold reports whether every improved-protocol obligation is discharged
+// and every legacy attack was found.
+func (r *Report) AllHold() bool {
+	for _, o := range r.Improved {
+		if !o.Holds {
+			return false
+		}
+	}
+	for _, o := range r.Legacy {
+		if !o.Holds {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report in the style of Section 5 / Section 2.3.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Improved Enclaves protocol (Section 3.2) — bounded verification\n")
+	fmt.Fprintf(&b, "  bounds: %d user sessions, %d admin messages/session\n", r.Config.MaxSessions, r.Config.MaxAdmin)
+	fmt.Fprintf(&b, "  reachable states: %d   transitions: %d   max depth: %d\n\n", r.States, r.Edges, r.Depth)
+	for _, o := range r.Improved {
+		fmt.Fprintln(&b, o)
+	}
+	if r.Diagram != nil {
+		fmt.Fprintf(&b, "\nVerification diagram (Figure 4) — observed box occupancy:\n")
+		ids := make([]string, 0, len(r.Diagram.BoxCounts))
+		for id := range r.Diagram.BoxCounts {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			if len(ids[i]) != len(ids[j]) {
+				return len(ids[i]) < len(ids[j])
+			}
+			return ids[i] < ids[j]
+		})
+		for _, id := range ids {
+			fmt.Fprintf(&b, "  %-4s %6d states\n", id, r.Diagram.BoxCounts[id])
+		}
+		fmt.Fprintf(&b, "\nObserved diagram edges:\n%s", r.Diagram.AdjacencyTable())
+	}
+
+	fmt.Fprintf(&b, "\nLegacy Enclaves protocol (Section 2.2) — attack search (Section 2.3)\n")
+	fmt.Fprintf(&b, "  bounds: %d rekeys; insider E initially a member\n", r.LegacyConfig.MaxRekeys)
+	fmt.Fprintf(&b, "  reachable states: %d   max depth: %d\n\n", r.LegacyStates, r.LegacyDepth)
+	for _, o := range r.Legacy {
+		verdict := "ATTACK FOUND (paper confirmed)"
+		if !o.Holds {
+			verdict = "NOT FOUND (disagrees with paper)"
+		}
+		fmt.Fprintf(&b, "[%s] %-60s %s\n", o.ID, o.Name, verdict)
+		if len(o.Witness) > 0 {
+			fmt.Fprintf(&b, "    shortest attack (%s):\n", o.Detail)
+			for _, step := range o.Witness {
+				fmt.Fprintf(&b, "      %s\n", step)
+			}
+		}
+	}
+	return b.String()
+}

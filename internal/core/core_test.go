@@ -1,0 +1,530 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"enclaves/internal/crypto"
+	"enclaves/internal/wire"
+)
+
+const (
+	testUser   = "alice"
+	testLeader = "leader"
+)
+
+func newPair(t *testing.T) (*MemberSession, *LeaderSession) {
+	t.Helper()
+	longTerm := crypto.DeriveKey(testUser, testLeader, "correct horse battery")
+	m, err := NewMemberSession(testUser, testLeader, longTerm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLeaderSession(testLeader, testUser, longTerm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, l
+}
+
+// handshake drives the three-message join to completion and returns the
+// exchanged envelopes for replay tests.
+func handshake(t *testing.T, m *MemberSession, l *LeaderSession) (initReq, keyDist, keyAck wire.Envelope) {
+	t.Helper()
+	initReq, err := m.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lev, err := l.Handle(initReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lev.Reply == nil || lev.Reply.Type != wire.TypeAuthKeyDist {
+		t.Fatalf("leader reply = %v", lev.Reply)
+	}
+	keyDist = *lev.Reply
+	mev, err := m.Handle(keyDist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mev.Connected || mev.Reply == nil || mev.Reply.Type != wire.TypeAuthAckKey {
+		t.Fatalf("member event = %+v", mev)
+	}
+	keyAck = *mev.Reply
+	lev, err = l.Handle(keyAck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lev.Accepted {
+		t.Fatal("leader did not accept the member")
+	}
+	return initReq, keyDist, keyAck
+}
+
+// adminRound delivers one admin body end to end and returns the AdminMsg
+// envelope.
+func adminRound(t *testing.T, m *MemberSession, l *LeaderSession, body wire.AdminBody) wire.Envelope {
+	t.Helper()
+	envp, err := l.Send(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if envp == nil {
+		t.Fatal("Send did not emit an AdminMsg with a free pipeline")
+	}
+	mev, err := m.Handle(*envp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mev.Admin == nil || mev.Reply == nil {
+		t.Fatalf("member event = %+v", mev)
+	}
+	lev, err := l.Handle(*mev.Reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lev.Acked {
+		t.Fatal("leader did not register the ack")
+	}
+	return *envp
+}
+
+func TestHandshake(t *testing.T) {
+	m, l := newPair(t)
+	handshake(t, m, l)
+	if m.Phase() != MemberConnected {
+		t.Errorf("member phase = %s", m.Phase())
+	}
+	if l.Phase() != LeaderConnected {
+		t.Errorf("leader phase = %s", l.Phase())
+	}
+	if !m.SessionKey().Equal(l.SessionKey()) {
+		t.Error("session keys disagree after handshake")
+	}
+}
+
+func TestHandshakeFreshKeysPerSession(t *testing.T) {
+	m1, l1 := newPair(t)
+	handshake(t, m1, l1)
+	m2, l2 := newPair(t)
+	handshake(t, m2, l2)
+	if m1.SessionKey().Equal(m2.SessionKey()) {
+		t.Error("two sessions share a session key")
+	}
+}
+
+func TestAdminDelivery(t *testing.T) {
+	m, l := newPair(t)
+	handshake(t, m, l)
+
+	envp, err := l.Send(wire.MemberJoined{Name: "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mev, err := m.Handle(*envp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, ok := mev.Admin.(wire.MemberJoined)
+	if !ok || joined.Name != "bob" {
+		t.Fatalf("admin body = %v", mev.Admin)
+	}
+	if mev.Seq != 1 {
+		t.Errorf("seq = %d, want 1", mev.Seq)
+	}
+	lev, err := l.Handle(*mev.Reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lev.Acked || lev.AckedSeq != 1 {
+		t.Errorf("leader ack event = %+v", lev)
+	}
+	if m.Accepted() != 1 {
+		t.Errorf("member accepted count = %d", m.Accepted())
+	}
+}
+
+func TestAdminPipelineOrder(t *testing.T) {
+	m, l := newPair(t)
+	handshake(t, m, l)
+
+	// Queue three bodies; only the first is emitted immediately.
+	first, err := l.Send(wire.MemberJoined{Name: "m1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"m2", "m3"} {
+		envp, err := l.Send(wire.MemberJoined{Name: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if envp != nil {
+			t.Fatal("pipeline emitted a second outstanding AdminMsg")
+		}
+	}
+	if l.PendingAdmin() != 2 {
+		t.Fatalf("pending = %d, want 2", l.PendingAdmin())
+	}
+
+	// Drain: each ack releases the next message, in order.
+	env := first
+	for i, want := range []string{"m1", "m2", "m3"} {
+		mev, err := m.Handle(*env)
+		if err != nil {
+			t.Fatalf("admin %d: %v", i, err)
+		}
+		if got := mev.Admin.(wire.MemberJoined).Name; got != want {
+			t.Fatalf("admin %d: got %q want %q", i, got, want)
+		}
+		lev, err := l.Handle(*mev.Reply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env = lev.Reply // next drained AdminMsg (nil after the last)
+	}
+	if env != nil {
+		t.Error("pipeline emitted an extra message")
+	}
+	if m.Accepted() != 3 {
+		t.Errorf("accepted = %d, want 3", m.Accepted())
+	}
+}
+
+func TestSendBeforeAcceptanceQueues(t *testing.T) {
+	m, l := newPair(t)
+	initReq, _ := m.Start()
+	lev, _ := l.Handle(initReq)
+
+	// Queue while waiting for the key ack.
+	envp, err := l.Send(wire.MemberJoined{Name: "early"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if envp != nil {
+		t.Fatal("AdminMsg emitted before the member was accepted")
+	}
+
+	mev, _ := m.Handle(*lev.Reply)
+	lev2, err := l.Handle(*mev.Reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lev2.Accepted || lev2.Reply == nil || lev2.Reply.Type != wire.TypeAdminMsg {
+		t.Fatalf("queued AdminMsg not drained on acceptance: %+v", lev2)
+	}
+	mev2, err := m.Handle(*lev2.Reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mev2.Admin.(wire.MemberJoined).Name != "early" {
+		t.Errorf("admin = %v", mev2.Admin)
+	}
+}
+
+func TestAdminReplayRejected(t *testing.T) {
+	m, l := newPair(t)
+	handshake(t, m, l)
+	adminEnv := adminRound(t, m, l, wire.MemberJoined{Name: "bob"})
+
+	// Replaying the captured AdminMsg must fail the freshness check.
+	if _, err := m.Handle(adminEnv); !errors.Is(err, ErrFreshness) {
+		t.Errorf("replay accepted: err = %v, want ErrFreshness", err)
+	}
+	if m.Accepted() != 1 {
+		t.Errorf("accepted advanced on replay: %d", m.Accepted())
+	}
+}
+
+func TestAckReplayRejected(t *testing.T) {
+	m, l := newPair(t)
+	handshake(t, m, l)
+
+	envp, _ := l.Send(wire.MemberJoined{Name: "bob"})
+	mev, _ := m.Handle(*envp)
+	if _, err := l.Handle(*mev.Reply); err != nil {
+		t.Fatal(err)
+	}
+	// Send another admin so the leader is waiting again, then replay the
+	// old ack: its NPrev no longer matches the leader's nonce.
+	if _, err := l.Send(wire.MemberJoined{Name: "carol"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Handle(*mev.Reply); !errors.Is(err, ErrFreshness) {
+		t.Errorf("stale ack accepted: err = %v", err)
+	}
+}
+
+func TestKeyDistReplayAcrossSessionsRejected(t *testing.T) {
+	longTerm := crypto.DeriveKey(testUser, testLeader, "pw")
+	m1, _ := NewMemberSession(testUser, testLeader, longTerm)
+	l1, _ := NewLeaderSession(testLeader, testUser, longTerm)
+	init1, _ := m1.Start()
+	lev1, _ := l1.Handle(init1)
+	keyDist1 := *lev1.Reply
+
+	// A second session: the stale key distribution echoes the OLD N1 and
+	// must be rejected by the new session.
+	m2, _ := NewMemberSession(testUser, testLeader, longTerm)
+	if _, err := m2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Handle(keyDist1); !errors.Is(err, ErrFreshness) {
+		t.Errorf("stale AuthKeyDist accepted: err = %v", err)
+	}
+}
+
+func TestForgedAdminRejected(t *testing.T) {
+	m, l := newPair(t)
+	handshake(t, m, l)
+
+	// Forge an AdminMsg under a key the attacker controls.
+	evilKey, _ := crypto.NewKey()
+	env := wire.Envelope{Type: wire.TypeAdminMsg, Sender: testLeader, Receiver: testUser}
+	p := wire.AdminMsgPayload{Leader: testLeader, User: testUser, Seq: 9, Body: wire.MemberLeft{Name: "bob"}}
+	box, _ := crypto.Seal(evilKey, p.Marshal(), env.Header())
+	env.Payload = box
+	if _, err := m.Handle(env); !errors.Is(err, ErrAuth) {
+		t.Errorf("forged AdminMsg accepted: err = %v", err)
+	}
+	_ = l
+}
+
+func TestRelabeledEnvelopeRejected(t *testing.T) {
+	m, l := newPair(t)
+	initReq, _ := m.Start()
+	lev, _ := l.Handle(initReq)
+
+	// Relabel the AuthKeyDist as an AdminMsg: the AEAD header binding must
+	// reject it even before state checks could confuse it.
+	relabeled := *lev.Reply
+	relabeled.Type = wire.TypeAdminMsg
+	if _, err := m.Handle(relabeled); !errors.Is(err, ErrState) && !errors.Is(err, ErrAuth) {
+		t.Errorf("relabeled envelope: err = %v", err)
+	}
+	// Proper delivery still works afterwards.
+	if _, err := m.Handle(*lev.Reply); err != nil {
+		t.Errorf("genuine delivery after rejection: %v", err)
+	}
+}
+
+func TestTamperedPayloadRejected(t *testing.T) {
+	m, l := newPair(t)
+	initReq, _ := m.Start()
+	lev, _ := l.Handle(initReq)
+	tampered := *lev.Reply
+	tampered.Payload = append([]byte(nil), tampered.Payload...)
+	tampered.Payload[len(tampered.Payload)/2] ^= 0x40
+	if _, err := m.Handle(tampered); !errors.Is(err, ErrAuth) {
+		t.Errorf("tampered payload: err = %v", err)
+	}
+}
+
+func TestWrongPasswordCannotJoin(t *testing.T) {
+	goodKey := crypto.DeriveKey(testUser, testLeader, "right")
+	badKey := crypto.DeriveKey(testUser, testLeader, "wrong")
+	m, _ := NewMemberSession(testUser, testLeader, badKey)
+	l, _ := NewLeaderSession(testLeader, testUser, goodKey)
+	initReq, _ := m.Start()
+	if _, err := l.Handle(initReq); !errors.Is(err, ErrAuth) {
+		t.Errorf("wrong password accepted: err = %v", err)
+	}
+}
+
+func TestIdentityMismatchRejected(t *testing.T) {
+	// The leader session is for "mallory" but the encrypted payload names
+	// alice: the identity check (not just the key) must fire. Use the same
+	// long-term key for both to isolate the identity check.
+	shared, _ := crypto.NewKey()
+	m, _ := NewMemberSession(testUser, testLeader, shared)
+	l, _ := NewLeaderSession(testLeader, "mallory", shared)
+	initReq, _ := m.Start()
+	// Rewrite the envelope header to mallory so the AEAD check passes...
+	// it will not, because the header is bound. Instead craft the envelope
+	// as mallory would see it delivered: header must match what was
+	// sealed, so leader's Open succeeds only with the original header, and
+	// then the encrypted identity check fires.
+	if _, err := l.Handle(initReq); !errors.Is(err, ErrAuth) && !errors.Is(err, ErrIdentity) {
+		t.Errorf("identity mismatch: err = %v", err)
+	}
+}
+
+func TestLeaveAndClose(t *testing.T) {
+	m, l := newPair(t)
+	handshake(t, m, l)
+	closeEnv, err := m.Leave()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Phase() != MemberClosed {
+		t.Errorf("member phase = %s", m.Phase())
+	}
+	if m.SessionKey().Valid() {
+		t.Error("member session key not zeroized on leave")
+	}
+	lev, err := l.Handle(closeEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lev.Closed || l.Phase() != LeaderClosed {
+		t.Errorf("leader did not close: %+v phase=%s", lev, l.Phase())
+	}
+	if l.SessionKey().Valid() {
+		t.Error("leader session key not zeroized on close")
+	}
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	m, l := newPair(t)
+	handshake(t, m, l)
+	closeEnv, _ := m.Leave()
+	if _, err := l.Handle(closeEnv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Send(wire.MemberJoined{Name: "x"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after close: err = %v", err)
+	}
+}
+
+func TestCloseReplayDoesNothing(t *testing.T) {
+	m, l := newPair(t)
+	handshake(t, m, l)
+	closeEnv, _ := m.Leave()
+	if _, err := l.Handle(closeEnv); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the close against the closed session is a state error; the
+	// session key is gone so nothing can be derived from it.
+	if _, err := l.Handle(closeEnv); !errors.Is(err, ErrState) {
+		t.Errorf("close replay: err = %v", err)
+	}
+}
+
+func TestCloseCannotCrossSessions(t *testing.T) {
+	longTerm := crypto.DeriveKey(testUser, testLeader, "pw")
+
+	// Session 1 completes and closes; capture its ReqClose.
+	m1, _ := NewMemberSession(testUser, testLeader, longTerm)
+	l1, _ := NewLeaderSession(testLeader, testUser, longTerm)
+	handshake(t, m1, l1)
+	close1, _ := m1.Leave()
+	if _, err := l1.Handle(close1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session 2 is fresh; the captured close is under the old key.
+	m2, _ := NewMemberSession(testUser, testLeader, longTerm)
+	l2, _ := NewLeaderSession(testLeader, testUser, longTerm)
+	handshake(t, m2, l2)
+	if _, err := l2.Handle(close1); !errors.Is(err, ErrAuth) {
+		t.Errorf("cross-session close accepted: err = %v", err)
+	}
+	if l2.Phase() != LeaderConnected {
+		t.Errorf("leader phase changed on rejected close: %s", l2.Phase())
+	}
+}
+
+func TestStateErrors(t *testing.T) {
+	m, l := newPair(t)
+
+	// Member: admin before handshake.
+	env := wire.Envelope{Type: wire.TypeAdminMsg, Payload: []byte("x")}
+	if _, err := m.Handle(env); !errors.Is(err, ErrState) {
+		t.Errorf("admin in NotConnected: %v", err)
+	}
+	// Member: leave before connected.
+	if _, err := m.Leave(); !errors.Is(err, ErrState) {
+		t.Errorf("leave in NotConnected: %v", err)
+	}
+	// Leader: ack before handshake.
+	if _, err := l.Handle(wire.Envelope{Type: wire.TypeAck, Payload: []byte("x")}); !errors.Is(err, ErrState) {
+		t.Errorf("ack in Idle: %v", err)
+	}
+	// Leader: close before handshake.
+	if _, err := l.Handle(wire.Envelope{Type: wire.TypeReqClose, Payload: []byte("x")}); !errors.Is(err, ErrState) {
+		t.Errorf("close in Idle: %v", err)
+	}
+	// Unknown types.
+	if _, err := m.Handle(wire.Envelope{Type: wire.TypeAppData}); !errors.Is(err, ErrState) {
+		t.Errorf("app data to member engine: %v", err)
+	}
+	if _, err := l.Handle(wire.Envelope{Type: wire.TypeAppData}); !errors.Is(err, ErrState) {
+		t.Errorf("app data to leader engine: %v", err)
+	}
+
+	// Double Start.
+	if _, err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Start(); !errors.Is(err, ErrState) {
+		t.Errorf("double Start: %v", err)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	k, _ := crypto.NewKey()
+	if _, err := NewMemberSession("", testLeader, k); err == nil {
+		t.Error("empty user accepted")
+	}
+	if _, err := NewMemberSession(testUser, "", k); err == nil {
+		t.Error("empty leader accepted")
+	}
+	if _, err := NewMemberSession(testUser, testLeader, crypto.Key{}); err == nil {
+		t.Error("invalid key accepted")
+	}
+	if _, err := NewLeaderSession("", testUser, k); err == nil {
+		t.Error("empty leader accepted")
+	}
+	if _, err := NewLeaderSession(testLeader, testUser, crypto.Key{}); err == nil {
+		t.Error("invalid key accepted")
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	if MemberWaitingForKey.String() != "WaitingForKey" || LeaderWaitingForAck.String() != "WaitingForAck" {
+		t.Error("phase names wrong")
+	}
+}
+
+// TestInterleavedSessionsIndependent runs two member/leader pairs in
+// lockstep and checks that messages cannot cross between them.
+func TestInterleavedSessionsIndependent(t *testing.T) {
+	ltA := crypto.DeriveKey("alice", testLeader, "pa")
+	ltB := crypto.DeriveKey("bob", testLeader, "pb")
+	ma, _ := NewMemberSession("alice", testLeader, ltA)
+	la, _ := NewLeaderSession(testLeader, "alice", ltA)
+	mb, _ := NewMemberSession("bob", testLeader, ltB)
+	lb, _ := NewLeaderSession(testLeader, "bob", ltB)
+
+	initA, _ := ma.Start()
+	initB, _ := mb.Start()
+
+	// Cross-delivery must fail: bob's request to alice's leader session.
+	if _, err := la.Handle(initB); !errors.Is(err, ErrAuth) {
+		t.Errorf("cross-user init accepted: %v", err)
+	}
+
+	levA, _ := la.Handle(initA)
+	levB, _ := lb.Handle(initB)
+
+	// Cross key distributions must fail.
+	if _, err := ma.Handle(*levB.Reply); !errors.Is(err, ErrAuth) {
+		t.Errorf("cross key dist accepted: %v", err)
+	}
+	mevA, err := ma.Handle(*levA.Reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mevB, err := mb.Handle(*levB.Reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := la.Handle(*mevB.Reply); !errors.Is(err, ErrAuth) {
+		t.Errorf("cross key ack accepted: %v", err)
+	}
+	if _, err := la.Handle(*mevA.Reply); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lb.Handle(*mevB.Reply); err != nil {
+		t.Fatal(err)
+	}
+}

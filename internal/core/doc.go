@@ -1,0 +1,29 @@
+// Package core implements the paper's primary contribution: the improved
+// intrusion-tolerant Enclaves protocol of Section 3.2, as a pair of
+// transport-independent ("sans-IO") session engines.
+//
+//   - MemberSession is the user side of Figure 2: it performs the
+//     three-message authentication (AuthInitReq / AuthKeyDist / AuthAckKey),
+//     accepts group-management messages whose freshness is proven by the
+//     member's own most recent nonce, acknowledges each with a fresh nonce,
+//     and leaves with a single unreplayable ReqClose.
+//
+//   - LeaderSession is the leader's per-member system of Figure 3: it
+//     authenticates a joining user against the shared long-term key P_a,
+//     generates the session key K_a, and runs the ack-gated
+//     group-management pipeline — at most one outstanding AdminMsg, each
+//     carrying the member's latest nonce N_{2i+1} (freshness to the member)
+//     and a fresh leader nonce N_{2i+2} (freshness of the acknowledgment).
+//
+// The engines consume and produce wire.Envelope values and never touch a
+// socket, so the same code is driven by the in-memory network, the
+// adversarial hub of package transport, TCP, and the test suites. Rejected
+// messages (replays, forgeries, wrong-state deliveries) leave the engine
+// state unchanged and return a typed error; the caller decides whether to
+// log or drop.
+//
+// The correspondence with the verified model (package model, checked by
+// package checker) is one-to-one: every guard in these engines implements a
+// transition guard of the model, with symbolic encryption replaced by
+// AES-256-GCM and symbolic nonces by 128-bit random values.
+package core

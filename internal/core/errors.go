@@ -1,0 +1,26 @@
+package core
+
+import "errors"
+
+// Engine rejection errors. All of them are non-fatal: the engine state is
+// unchanged and the caller may keep feeding messages.
+var (
+	// ErrState reports a message that is not acceptable in the current
+	// phase (e.g. an AdminMsg before the handshake completed).
+	ErrState = errors.New("core: message not acceptable in current state")
+
+	// ErrAuth reports a message that failed decryption or authentication —
+	// a forgery, a corruption, or traffic under a stale key.
+	ErrAuth = errors.New("core: message failed authentication")
+
+	// ErrIdentity reports a message whose encrypted identities do not match
+	// the session's endpoints.
+	ErrIdentity = errors.New("core: encrypted identities do not match session")
+
+	// ErrFreshness reports a replay: the message does not carry the nonce
+	// the engine expects.
+	ErrFreshness = errors.New("core: freshness check failed (replay)")
+
+	// ErrClosed reports an operation on a closed session.
+	ErrClosed = errors.New("core: session closed")
+)

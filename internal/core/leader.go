@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+
+	"enclaves/internal/crypto"
+	"enclaves/internal/wire"
+)
+
+// LeaderPhase enumerates the per-member leader engine's states (Figure 3).
+type LeaderPhase uint8
+
+// Leader phases.
+const (
+	LeaderIdle LeaderPhase = iota + 1
+	LeaderWaitingForKeyAck
+	LeaderConnected
+	LeaderWaitingForAck
+	LeaderClosed
+)
+
+func (p LeaderPhase) String() string {
+	switch p {
+	case LeaderIdle:
+		return "Idle"
+	case LeaderWaitingForKeyAck:
+		return "WaitingForKeyAck"
+	case LeaderConnected:
+		return "Connected"
+	case LeaderWaitingForAck:
+		return "WaitingForAck"
+	case LeaderClosed:
+		return "Closed"
+	default:
+		return "invalid"
+	}
+}
+
+// LeaderEvent is the outcome of feeding one envelope to a LeaderSession.
+type LeaderEvent struct {
+	// Reply, if non-nil, must be transmitted to the member (AuthKeyDist, or
+	// the next AdminMsg drained from the queue after an acknowledgment).
+	Reply *wire.Envelope
+	// Accepted is true when this step accepted the member into the group
+	// (the AuthAckKey acceptance event of the authentication property).
+	Accepted bool
+	// AckedSeq, when Acked is true, is the sequence number of the AdminMsg
+	// the member just acknowledged.
+	Acked    bool
+	AckedSeq uint64
+	// Closed is true when this step processed the member's ReqClose.
+	Closed bool
+}
+
+// LeaderSession is the leader's engine for one member (the leader is the
+// composition of one LeaderSession per user, exactly as in Section 4.1).
+// It is not safe for concurrent use.
+type LeaderSession struct {
+	leader   string
+	user     string
+	longTerm crypto.Key
+
+	phase       LeaderPhase
+	sessionKey  crypto.Key
+	myNonce     crypto.Nonce // N_l: our fresh nonce awaiting acknowledgment
+	memberNonce crypto.Nonce // N_a: the member's latest nonce
+
+	pending []wire.AdminBody // admin bodies queued behind the outstanding one
+	seq     uint64           // sequence of the next AdminMsg
+	sentSeq uint64           // sequence of the outstanding AdminMsg
+}
+
+// NewLeaderSession returns a leader-side engine for the given user,
+// authenticated by the shared long-term key P_user.
+func NewLeaderSession(leader, user string, longTerm crypto.Key) (*LeaderSession, error) {
+	if user == "" || leader == "" {
+		return nil, fmt.Errorf("core: user and leader names must be non-empty")
+	}
+	if !longTerm.Valid() {
+		return nil, fmt.Errorf("core: invalid long-term key")
+	}
+	return &LeaderSession{
+		leader:   leader,
+		user:     user,
+		longTerm: longTerm,
+		phase:    LeaderIdle,
+	}, nil
+}
+
+// User returns the member's identity.
+func (l *LeaderSession) User() string { return l.user }
+
+// Phase returns the engine's current phase.
+func (l *LeaderSession) Phase() LeaderPhase { return l.phase }
+
+// PendingAdmin returns how many admin bodies are queued (excluding the
+// outstanding unacknowledged one, if any).
+func (l *LeaderSession) PendingAdmin() int { return len(l.pending) }
+
+// SessionKey returns the session key; valid after the AuthInitReq has been
+// accepted and until close.
+func (l *LeaderSession) SessionKey() crypto.Key { return l.sessionKey }
+
+// Handle feeds one received envelope to the engine. On rejection the engine
+// state is unchanged and a typed error is returned.
+func (l *LeaderSession) Handle(env wire.Envelope) (LeaderEvent, error) {
+	switch env.Type {
+	case wire.TypeAuthInitReq:
+		return l.handleInitReq(env)
+	case wire.TypeAuthAckKey:
+		return l.handleKeyAck(env)
+	case wire.TypeAck:
+		return l.handleAck(env)
+	case wire.TypeReqClose:
+		return l.handleClose(env)
+	default:
+		return LeaderEvent{}, fmt.Errorf("%w: leader got %s", ErrState, env.Type)
+	}
+}
+
+// handleInitReq processes {A, L, N1}_Pa: generate a fresh session key K_a
+// and nonce N2, reply with {L, A, N1, N2, Ka}_Pa.
+func (l *LeaderSession) handleInitReq(env wire.Envelope) (LeaderEvent, error) {
+	if l.phase != LeaderIdle {
+		return LeaderEvent{}, fmt.Errorf("%w: AuthInitReq in phase %s", ErrState, l.phase)
+	}
+	plain, err := crypto.Open(l.longTerm, env.Payload, env.Header())
+	if err != nil {
+		return LeaderEvent{}, fmt.Errorf("%w: init req: %v", ErrAuth, err)
+	}
+	p, err := wire.UnmarshalAuthInit(plain)
+	if err != nil {
+		return LeaderEvent{}, fmt.Errorf("%w: init req: %v", ErrAuth, err)
+	}
+	if p.User != l.user || p.Leader != l.leader {
+		return LeaderEvent{}, fmt.Errorf("%w: init req names %q/%q", ErrIdentity, p.User, p.Leader)
+	}
+
+	ka, err := crypto.NewKey()
+	if err != nil {
+		return LeaderEvent{}, err
+	}
+	n2, err := crypto.NewNonce()
+	if err != nil {
+		return LeaderEvent{}, err
+	}
+	reply := wire.Envelope{Type: wire.TypeAuthKeyDist, Sender: l.leader, Receiver: l.user}
+	dist := wire.AuthKeyDistPayload{Leader: l.leader, User: l.user, N1: p.N1, N2: n2, SessionKey: ka}
+	box, err := crypto.Seal(l.longTerm, dist.Marshal(), reply.Header())
+	if err != nil {
+		return LeaderEvent{}, err
+	}
+	reply.Payload = box
+
+	l.sessionKey = ka
+	l.myNonce = n2
+	l.phase = LeaderWaitingForKeyAck
+	return LeaderEvent{Reply: &reply}, nil
+}
+
+// handleKeyAck processes {A, L, N2, N3}_Ka: the member proves possession of
+// the session key and freshness; it becomes a group member.
+func (l *LeaderSession) handleKeyAck(env wire.Envelope) (LeaderEvent, error) {
+	if l.phase != LeaderWaitingForKeyAck {
+		return LeaderEvent{}, fmt.Errorf("%w: AuthAckKey in phase %s", ErrState, l.phase)
+	}
+	p, err := l.openAck(env)
+	if err != nil {
+		return LeaderEvent{}, err
+	}
+	if !p.NPrev.Equal(l.myNonce) {
+		return LeaderEvent{}, fmt.Errorf("%w: key ack does not echo N2", ErrFreshness)
+	}
+	l.memberNonce = p.NNext
+	l.phase = LeaderConnected
+	ev := LeaderEvent{Accepted: true}
+	if err := l.maybeSendNext(&ev); err != nil {
+		return LeaderEvent{}, err
+	}
+	return ev, nil
+}
+
+// handleAck processes {A, L, N_{2i+2}, N_{2i+3}}_Ka acknowledging the
+// outstanding AdminMsg, then drains the next queued body if any.
+func (l *LeaderSession) handleAck(env wire.Envelope) (LeaderEvent, error) {
+	if l.phase != LeaderWaitingForAck {
+		return LeaderEvent{}, fmt.Errorf("%w: Ack in phase %s", ErrState, l.phase)
+	}
+	p, err := l.openAck(env)
+	if err != nil {
+		return LeaderEvent{}, err
+	}
+	if !p.NPrev.Equal(l.myNonce) {
+		return LeaderEvent{}, fmt.Errorf("%w: ack does not echo our nonce", ErrFreshness)
+	}
+	l.memberNonce = p.NNext
+	l.phase = LeaderConnected
+	ev := LeaderEvent{Acked: true, AckedSeq: l.sentSeq}
+	if err := l.maybeSendNext(&ev); err != nil {
+		return LeaderEvent{}, err
+	}
+	return ev, nil
+}
+
+// openAck decrypts and validates the shared ack shape {A, L, N, N'}_Ka.
+func (l *LeaderSession) openAck(env wire.Envelope) (wire.AckPayload, error) {
+	plain, err := crypto.Open(l.sessionKey, env.Payload, env.Header())
+	if err != nil {
+		return wire.AckPayload{}, fmt.Errorf("%w: ack: %v", ErrAuth, err)
+	}
+	p, err := wire.UnmarshalAck(plain)
+	if err != nil {
+		return wire.AckPayload{}, fmt.Errorf("%w: ack: %v", ErrAuth, err)
+	}
+	if p.User != l.user || p.Leader != l.leader {
+		return wire.AckPayload{}, fmt.Errorf("%w: ack names %q/%q", ErrIdentity, p.User, p.Leader)
+	}
+	return p, nil
+}
+
+// handleClose processes {A, L}_Ka: the session ends and the key is
+// discarded (the model releases it via an Oops event — the pessimistic
+// assumption the verification is carried out under).
+func (l *LeaderSession) handleClose(env wire.Envelope) (LeaderEvent, error) {
+	if l.phase == LeaderIdle || l.phase == LeaderClosed {
+		return LeaderEvent{}, fmt.Errorf("%w: ReqClose in phase %s", ErrState, l.phase)
+	}
+	plain, err := crypto.Open(l.sessionKey, env.Payload, env.Header())
+	if err != nil {
+		return LeaderEvent{}, fmt.Errorf("%w: close: %v", ErrAuth, err)
+	}
+	p, err := wire.UnmarshalClose(plain)
+	if err != nil {
+		return LeaderEvent{}, fmt.Errorf("%w: close: %v", ErrAuth, err)
+	}
+	if p.User != l.user || p.Leader != l.leader {
+		return LeaderEvent{}, fmt.Errorf("%w: close names %q/%q", ErrIdentity, p.User, p.Leader)
+	}
+	l.phase = LeaderClosed
+	l.sessionKey.Zero()
+	l.pending = nil
+	return LeaderEvent{Closed: true}, nil
+}
+
+// Send queues a group-management body for delivery. If the pipeline is
+// free (Connected with no outstanding AdminMsg) the AdminMsg envelope is
+// returned immediately; otherwise it is queued and will be emitted by the
+// LeaderEvent of a future acknowledgment. Send before the member is
+// accepted queues the body for delivery right after acceptance.
+func (l *LeaderSession) Send(body wire.AdminBody) (*wire.Envelope, error) {
+	switch l.phase {
+	case LeaderClosed:
+		return nil, fmt.Errorf("%w: Send after close", ErrClosed)
+	case LeaderConnected:
+		return l.emitAdmin(body)
+	default:
+		l.pending = append(l.pending, body)
+		return nil, nil
+	}
+}
+
+// maybeSendNext drains the head of the pending queue into ev.Reply when the
+// pipeline is free.
+func (l *LeaderSession) maybeSendNext(ev *LeaderEvent) error {
+	if l.phase != LeaderConnected || len(l.pending) == 0 {
+		return nil
+	}
+	body := l.pending[0]
+	l.pending = l.pending[1:]
+	env, err := l.emitAdmin(body)
+	if err != nil {
+		return err
+	}
+	ev.Reply = env
+	return nil
+}
+
+// emitAdmin builds {L, A, N_{2i+1}, N_{2i+2}, X}_Ka and moves to
+// WaitingForAck.
+func (l *LeaderSession) emitAdmin(body wire.AdminBody) (*wire.Envelope, error) {
+	next, err := crypto.NewNonce()
+	if err != nil {
+		return nil, err
+	}
+	env := wire.Envelope{Type: wire.TypeAdminMsg, Sender: l.leader, Receiver: l.user}
+	l.seq++
+	p := wire.AdminMsgPayload{
+		Leader: l.leader,
+		User:   l.user,
+		NPrev:  l.memberNonce,
+		NNext:  next,
+		Seq:    l.seq,
+		Body:   body,
+	}
+	box, err := crypto.Seal(l.sessionKey, p.Marshal(), env.Header())
+	if err != nil {
+		return nil, err
+	}
+	env.Payload = box
+	l.myNonce = next
+	l.sentSeq = l.seq
+	l.phase = LeaderWaitingForAck
+	return &env, nil
+}

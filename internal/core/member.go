@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+
+	"enclaves/internal/crypto"
+	"enclaves/internal/wire"
+)
+
+// MemberPhase enumerates the member engine's states (Figure 2).
+type MemberPhase uint8
+
+// Member phases.
+const (
+	MemberNotConnected MemberPhase = iota + 1
+	MemberWaitingForKey
+	MemberConnected
+	MemberClosed
+)
+
+func (p MemberPhase) String() string {
+	switch p {
+	case MemberNotConnected:
+		return "NotConnected"
+	case MemberWaitingForKey:
+		return "WaitingForKey"
+	case MemberConnected:
+		return "Connected"
+	case MemberClosed:
+		return "Closed"
+	default:
+		return "invalid"
+	}
+}
+
+// MemberEvent is the outcome of feeding one envelope to a MemberSession.
+type MemberEvent struct {
+	// Reply, if non-nil, must be transmitted to the leader.
+	Reply *wire.Envelope
+	// Connected is true when this step completed the handshake.
+	Connected bool
+	// Admin, if non-nil, is a group-management payload accepted in order;
+	// Seq is its leader-assigned sequence number within the session.
+	Admin wire.AdminBody
+	Seq   uint64
+}
+
+// MemberSession is the user-side engine of the improved protocol. It is not
+// safe for concurrent use; drive it from a single goroutine.
+type MemberSession struct {
+	user     string
+	leader   string
+	longTerm crypto.Key
+
+	phase      MemberPhase
+	n1         crypto.Nonce // nonce of the outstanding AuthInitReq
+	myNonce    crypto.Nonce // N_{2i+1}: the member's latest fresh nonce
+	sessionKey crypto.Key
+
+	accepted uint64 // count of admin messages accepted this session
+}
+
+// NewMemberSession returns a member engine for the given user, using the
+// long-term key P_user shared with the leader (see crypto.DeriveKey).
+func NewMemberSession(user, leader string, longTerm crypto.Key) (*MemberSession, error) {
+	if user == "" || leader == "" {
+		return nil, fmt.Errorf("core: user and leader names must be non-empty")
+	}
+	if !longTerm.Valid() {
+		return nil, fmt.Errorf("core: invalid long-term key")
+	}
+	return &MemberSession{
+		user:     user,
+		leader:   leader,
+		longTerm: longTerm,
+		phase:    MemberNotConnected,
+	}, nil
+}
+
+// User returns the member's identity.
+func (m *MemberSession) User() string { return m.user }
+
+// Leader returns the leader's identity.
+func (m *MemberSession) Leader() string { return m.leader }
+
+// Phase returns the engine's current phase.
+func (m *MemberSession) Phase() MemberPhase { return m.phase }
+
+// Accepted returns how many group-management messages have been accepted in
+// this session (the length of rcv_A in the model).
+func (m *MemberSession) Accepted() uint64 { return m.accepted }
+
+// SessionKey returns the established session key; it is only valid while
+// Connected.
+func (m *MemberSession) SessionKey() crypto.Key { return m.sessionKey }
+
+// Start begins the join protocol: it returns the AuthInitReq envelope
+// (message 1 of Section 3.2) and moves to WaitingForKey.
+func (m *MemberSession) Start() (wire.Envelope, error) {
+	if m.phase != MemberNotConnected {
+		return wire.Envelope{}, fmt.Errorf("%w: Start in phase %s", ErrState, m.phase)
+	}
+	n1, err := crypto.NewNonce()
+	if err != nil {
+		return wire.Envelope{}, err
+	}
+	env := wire.Envelope{Type: wire.TypeAuthInitReq, Sender: m.user, Receiver: m.leader}
+	payload := wire.AuthInitPayload{User: m.user, Leader: m.leader, N1: n1}
+	box, err := crypto.Seal(m.longTerm, payload.Marshal(), env.Header())
+	if err != nil {
+		return wire.Envelope{}, err
+	}
+	env.Payload = box
+	m.n1 = n1
+	m.phase = MemberWaitingForKey
+	return env, nil
+}
+
+// Handle feeds one received envelope to the engine. On rejection the engine
+// state is unchanged and a typed error is returned; the session remains
+// usable.
+func (m *MemberSession) Handle(env wire.Envelope) (MemberEvent, error) {
+	switch env.Type {
+	case wire.TypeAuthKeyDist:
+		return m.handleKeyDist(env)
+	case wire.TypeAdminMsg:
+		return m.handleAdmin(env)
+	default:
+		return MemberEvent{}, fmt.Errorf("%w: member got %s", ErrState, env.Type)
+	}
+}
+
+// handleKeyDist processes message 2 of the authentication protocol,
+// {L, A, N1, N2, Ka}_Pa, and replies with message 3, {A, L, N2, N3}_Ka.
+func (m *MemberSession) handleKeyDist(env wire.Envelope) (MemberEvent, error) {
+	if m.phase != MemberWaitingForKey {
+		return MemberEvent{}, fmt.Errorf("%w: AuthKeyDist in phase %s", ErrState, m.phase)
+	}
+	plain, err := crypto.Open(m.longTerm, env.Payload, env.Header())
+	if err != nil {
+		return MemberEvent{}, fmt.Errorf("%w: key dist: %v", ErrAuth, err)
+	}
+	p, err := wire.UnmarshalAuthKeyDist(plain)
+	if err != nil {
+		return MemberEvent{}, fmt.Errorf("%w: key dist: %v", ErrAuth, err)
+	}
+	if p.Leader != m.leader || p.User != m.user {
+		return MemberEvent{}, fmt.Errorf("%w: key dist names %q/%q", ErrIdentity, p.Leader, p.User)
+	}
+	if !p.N1.Equal(m.n1) {
+		return MemberEvent{}, fmt.Errorf("%w: key dist does not echo our N1", ErrFreshness)
+	}
+
+	n3, err := crypto.NewNonce()
+	if err != nil {
+		return MemberEvent{}, err
+	}
+	reply := wire.Envelope{Type: wire.TypeAuthAckKey, Sender: m.user, Receiver: m.leader}
+	ack := wire.AckPayload{User: m.user, Leader: m.leader, NPrev: p.N2, NNext: n3}
+	box, err := crypto.Seal(p.SessionKey, ack.Marshal(), reply.Header())
+	if err != nil {
+		return MemberEvent{}, err
+	}
+	reply.Payload = box
+
+	m.sessionKey = p.SessionKey
+	m.myNonce = n3
+	m.phase = MemberConnected
+	m.accepted = 0
+	return MemberEvent{Reply: &reply, Connected: true}, nil
+}
+
+// handleAdmin processes a group-management message
+// {L, A, N_{2i+1}, N_{2i+2}, X}_Ka and acknowledges it with
+// {A, L, N_{2i+2}, N_{2i+3}}_Ka (Section 3.2).
+func (m *MemberSession) handleAdmin(env wire.Envelope) (MemberEvent, error) {
+	if m.phase != MemberConnected {
+		return MemberEvent{}, fmt.Errorf("%w: AdminMsg in phase %s", ErrState, m.phase)
+	}
+	plain, err := crypto.Open(m.sessionKey, env.Payload, env.Header())
+	if err != nil {
+		return MemberEvent{}, fmt.Errorf("%w: admin msg: %v", ErrAuth, err)
+	}
+	p, err := wire.UnmarshalAdminMsg(plain)
+	if err != nil {
+		return MemberEvent{}, fmt.Errorf("%w: admin msg: %v", ErrAuth, err)
+	}
+	if p.Leader != m.leader || p.User != m.user {
+		return MemberEvent{}, fmt.Errorf("%w: admin msg names %q/%q", ErrIdentity, p.Leader, p.User)
+	}
+	// The message must carry the nonce we generated most recently; an old
+	// captured AdminMsg carries an older nonce and is rejected here. This
+	// is the guard that defeats the Section 2.3 replay attacks.
+	if !p.NPrev.Equal(m.myNonce) {
+		return MemberEvent{}, fmt.Errorf("%w: admin msg carries stale nonce", ErrFreshness)
+	}
+
+	next, err := crypto.NewNonce()
+	if err != nil {
+		return MemberEvent{}, err
+	}
+	reply := wire.Envelope{Type: wire.TypeAck, Sender: m.user, Receiver: m.leader}
+	ack := wire.AckPayload{User: m.user, Leader: m.leader, NPrev: p.NNext, NNext: next}
+	box, err := crypto.Seal(m.sessionKey, ack.Marshal(), reply.Header())
+	if err != nil {
+		return MemberEvent{}, err
+	}
+	reply.Payload = box
+
+	m.myNonce = next
+	m.accepted++
+	return MemberEvent{Reply: &reply, Admin: p.Body, Seq: p.Seq}, nil
+}
+
+// Leave ends the session: it returns the ReqClose envelope {A, L}_Ka and
+// moves to Closed. At most one close exists per session key, so the message
+// cannot be replayed into a different session.
+func (m *MemberSession) Leave() (wire.Envelope, error) {
+	if m.phase != MemberConnected {
+		return wire.Envelope{}, fmt.Errorf("%w: Leave in phase %s", ErrState, m.phase)
+	}
+	env := wire.Envelope{Type: wire.TypeReqClose, Sender: m.user, Receiver: m.leader}
+	payload := wire.ClosePayload{User: m.user, Leader: m.leader}
+	box, err := crypto.Seal(m.sessionKey, payload.Marshal(), env.Header())
+	if err != nil {
+		return wire.Envelope{}, err
+	}
+	env.Payload = box
+	m.phase = MemberClosed
+	m.sessionKey.Zero()
+	return env, nil
+}

@@ -1,0 +1,232 @@
+// Package crypto provides the symmetric cryptography used by the Enclaves
+// runtime: an AEAD cipher (AES-256-GCM) realizing the symbolic {X}_K
+// abstraction of the paper, password-based derivation of long-term keys
+// P_a (PBKDF2-HMAC-SHA256, implemented on the standard library), and
+// generation of random keys and nonces.
+//
+// The paper assumes an ideal symmetric cipher: ciphertexts reveal nothing
+// about the plaintext and cannot be created or modified without the key.
+// AEAD gives exactly that — confidentiality plus integrity — so a forged or
+// tampered message fails authentication instead of decrypting to garbage.
+package crypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// KeySize is the size of all symmetric keys in bytes (AES-256).
+const KeySize = 32
+
+// NonceSize is the size of protocol nonces in bytes. Protocol nonces are
+// the freshness values N1, N2, ... of the paper, not GCM nonces.
+const NonceSize = 16
+
+// ErrDecrypt is returned when a ciphertext fails authentication or is
+// malformed. Callers must treat it as evidence of forgery or corruption.
+var ErrDecrypt = errors.New("crypto: message authentication failed")
+
+// Key is a symmetric key. The zero value is not a valid key; use NewKey,
+// DeriveKey, or KeyFromBytes.
+type Key struct {
+	bytes [KeySize]byte
+	valid bool
+}
+
+// NewKey generates a fresh random key.
+func NewKey() (Key, error) {
+	var k Key
+	if _, err := rand.Read(k.bytes[:]); err != nil {
+		return Key{}, fmt.Errorf("crypto: generate key: %w", err)
+	}
+	k.valid = true
+	return k, nil
+}
+
+// KeyFromBytes builds a key from raw bytes, which must be exactly KeySize
+// long.
+func KeyFromBytes(b []byte) (Key, error) {
+	if len(b) != KeySize {
+		return Key{}, fmt.Errorf("crypto: key must be %d bytes, got %d", KeySize, len(b))
+	}
+	var k Key
+	copy(k.bytes[:], b)
+	k.valid = true
+	return k, nil
+}
+
+// Bytes returns a copy of the raw key material.
+func (k Key) Bytes() []byte {
+	out := make([]byte, KeySize)
+	copy(out, k.bytes[:])
+	return out
+}
+
+// Valid reports whether the key holds usable key material.
+func (k Key) Valid() bool { return k.valid }
+
+// Equal compares two keys in constant time.
+func (k Key) Equal(other Key) bool {
+	if !k.valid || !other.valid {
+		return k.valid == other.valid
+	}
+	return subtle.ConstantTimeCompare(k.bytes[:], other.bytes[:]) == 1
+}
+
+// Zero overwrites the key material. Discarded session keys are zeroized
+// when a session closes (the runtime counterpart of the model's key
+// disposal; the Oops event models the pessimistic assumption that the
+// adversary got the key anyway).
+func (k *Key) Zero() {
+	for i := range k.bytes {
+		k.bytes[i] = 0
+	}
+	k.valid = false
+}
+
+// String renders a short fingerprint, never the key material.
+func (k Key) String() string {
+	if !k.valid {
+		return "Key(invalid)"
+	}
+	sum := sha256.Sum256(k.bytes[:])
+	return "Key(" + hex.EncodeToString(sum[:4]) + ")"
+}
+
+// Fingerprint returns an 8-byte identifier of the key (a truncated hash),
+// safe to log and compare.
+func (k Key) Fingerprint() [8]byte {
+	var fp [8]byte
+	if !k.valid {
+		return fp
+	}
+	sum := sha256.Sum256(k.bytes[:])
+	copy(fp[:], sum[:8])
+	return fp
+}
+
+// Nonce is a protocol freshness value (the N_i of the paper).
+type Nonce [NonceSize]byte
+
+// NewNonce generates a fresh random nonce.
+func NewNonce() (Nonce, error) {
+	var n Nonce
+	if _, err := rand.Read(n[:]); err != nil {
+		return Nonce{}, fmt.Errorf("crypto: generate nonce: %w", err)
+	}
+	return n, nil
+}
+
+// Equal compares two nonces in constant time.
+func (n Nonce) Equal(other Nonce) bool {
+	return subtle.ConstantTimeCompare(n[:], other[:]) == 1
+}
+
+// IsZero reports whether the nonce is all zeros (unset).
+func (n Nonce) IsZero() bool {
+	var zero Nonce
+	return n == zero
+}
+
+func (n Nonce) String() string {
+	return "N(" + hex.EncodeToString(n[:4]) + ")"
+}
+
+// Seal encrypts and authenticates plaintext under k, binding the additional
+// data ad (the unencrypted message header) to the ciphertext. The output
+// carries the GCM nonce as a prefix.
+func Seal(k Key, plaintext, ad []byte) ([]byte, error) {
+	if !k.valid {
+		return nil, errors.New("crypto: seal with invalid key")
+	}
+	aead, err := newAEAD(k)
+	if err != nil {
+		return nil, err
+	}
+	iv := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(iv); err != nil {
+		return nil, fmt.Errorf("crypto: generate iv: %w", err)
+	}
+	out := make([]byte, 0, len(iv)+len(plaintext)+aead.Overhead())
+	out = append(out, iv...)
+	return aead.Seal(out, iv, plaintext, ad), nil
+}
+
+// Open authenticates and decrypts a ciphertext produced by Seal under the
+// same key and additional data. It returns ErrDecrypt on any failure, so
+// callers cannot distinguish tampering modes (no decryption oracle).
+func Open(k Key, ciphertext, ad []byte) ([]byte, error) {
+	if !k.valid {
+		return nil, ErrDecrypt
+	}
+	aead, err := newAEAD(k)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	if len(ciphertext) < aead.NonceSize()+aead.Overhead() {
+		return nil, ErrDecrypt
+	}
+	iv, box := ciphertext[:aead.NonceSize()], ciphertext[aead.NonceSize():]
+	plain, err := aead.Open(nil, iv, box, ad)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return plain, nil
+}
+
+func newAEAD(k Key) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(k.bytes[:])
+	if err != nil {
+		return nil, fmt.Errorf("crypto: aes: %w", err)
+	}
+	return cipher.NewGCM(block)
+}
+
+// DeriveKeyIterations is the PBKDF2 iteration count used for password
+// derivation of long-term keys.
+const DeriveKeyIterations = 4096
+
+// DeriveKey derives the long-term key P_user from the user's password, as
+// in Section 2.2 ("a key P_a derived from A's password, so P_a is known by
+// both A and L"). The user and leader names salt the derivation so equal
+// passwords at different leaders produce unrelated keys.
+func DeriveKey(user, leader, password string) Key {
+	salt := []byte("enclaves/v1|" + leader + "|" + user)
+	raw := pbkdf2(sha256.New().Size(), []byte(password), salt, DeriveKeyIterations, KeySize)
+	k, _ := KeyFromBytes(raw) // length is KeySize by construction
+	return k
+}
+
+// pbkdf2 implements PBKDF2-HMAC-SHA256 (RFC 2898) on the standard library.
+func pbkdf2(hashLen int, password, salt []byte, iter, keyLen int) []byte {
+	numBlocks := (keyLen + hashLen - 1) / hashLen
+	out := make([]byte, 0, numBlocks*hashLen)
+	block := make([]byte, 4)
+	for i := 1; i <= numBlocks; i++ {
+		binary.BigEndian.PutUint32(block, uint32(i))
+		mac := hmac.New(sha256.New, password)
+		mac.Write(salt)
+		mac.Write(block)
+		u := mac.Sum(nil)
+		t := make([]byte, len(u))
+		copy(t, u)
+		for j := 1; j < iter; j++ {
+			mac = hmac.New(sha256.New, password)
+			mac.Write(u)
+			u = mac.Sum(nil)
+			for x := range t {
+				t[x] ^= u[x]
+			}
+		}
+		out = append(out, t...)
+	}
+	return out[:keyLen]
+}

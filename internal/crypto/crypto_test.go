@@ -1,0 +1,280 @@
+package crypto
+
+import (
+	"bytes"
+	"encoding/hex"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewKeyDistinct(t *testing.T) {
+	k1, err := NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.Equal(k2) {
+		t.Error("two fresh keys are equal")
+	}
+	if !k1.Valid() || !k2.Valid() {
+		t.Error("fresh keys must be valid")
+	}
+}
+
+func TestKeyFromBytes(t *testing.T) {
+	raw := bytes.Repeat([]byte{7}, KeySize)
+	k, err := KeyFromBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(k.Bytes(), raw) {
+		t.Error("Bytes round trip failed")
+	}
+	if _, err := KeyFromBytes(raw[:KeySize-1]); err == nil {
+		t.Error("short key accepted")
+	}
+	if _, err := KeyFromBytes(append(raw, 0)); err == nil {
+		t.Error("long key accepted")
+	}
+}
+
+func TestKeyBytesIsACopy(t *testing.T) {
+	k, _ := NewKey()
+	b := k.Bytes()
+	b[0] ^= 0xFF
+	if bytes.Equal(b, k.Bytes()) {
+		t.Error("Bytes exposes internal storage")
+	}
+}
+
+func TestKeyEqual(t *testing.T) {
+	raw := bytes.Repeat([]byte{3}, KeySize)
+	k1, _ := KeyFromBytes(raw)
+	k2, _ := KeyFromBytes(raw)
+	if !k1.Equal(k2) {
+		t.Error("equal keys not equal")
+	}
+	var invalid Key
+	if k1.Equal(invalid) {
+		t.Error("valid equals invalid")
+	}
+	var invalid2 Key
+	if !invalid.Equal(invalid2) {
+		t.Error("two invalid keys should compare equal")
+	}
+}
+
+func TestKeyZero(t *testing.T) {
+	k, _ := NewKey()
+	k.Zero()
+	if k.Valid() {
+		t.Error("zeroed key still valid")
+	}
+	if !bytes.Equal(k.Bytes(), make([]byte, KeySize)) {
+		t.Error("zeroed key retains material")
+	}
+}
+
+func TestKeyStringHidesMaterial(t *testing.T) {
+	raw := bytes.Repeat([]byte{0xAB}, KeySize)
+	k, _ := KeyFromBytes(raw)
+	if strings.Contains(k.String(), hex.EncodeToString(raw[:8])) {
+		t.Error("String leaks key material")
+	}
+	var invalid Key
+	if invalid.String() != "Key(invalid)" {
+		t.Errorf("invalid key String = %q", invalid.String())
+	}
+}
+
+func TestKeyFingerprint(t *testing.T) {
+	k1, _ := NewKey()
+	k2, _ := NewKey()
+	if k1.Fingerprint() == k2.Fingerprint() {
+		t.Error("distinct keys share a fingerprint")
+	}
+	if k1.Fingerprint() != k1.Fingerprint() {
+		t.Error("fingerprint not deterministic")
+	}
+	var invalid Key
+	if invalid.Fingerprint() != [8]byte{} {
+		t.Error("invalid key fingerprint not zero")
+	}
+}
+
+func TestNonce(t *testing.T) {
+	n1, err := NewNonce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := NewNonce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1.Equal(n2) {
+		t.Error("two fresh nonces are equal")
+	}
+	if !n1.Equal(n1) {
+		t.Error("nonce not equal to itself")
+	}
+	if n1.IsZero() {
+		t.Error("fresh nonce is zero")
+	}
+	var zero Nonce
+	if !zero.IsZero() {
+		t.Error("zero nonce not reported zero")
+	}
+	if len(n1.String()) == 0 {
+		t.Error("empty nonce string")
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	k, _ := NewKey()
+	plaintext := []byte("AuthInitReq, A, L, nonce")
+	ad := []byte("header")
+	box, err := Seal(k, plaintext, ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(k, box, ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plaintext) {
+		t.Errorf("round trip: got %q want %q", got, plaintext)
+	}
+}
+
+func TestSealRandomized(t *testing.T) {
+	k, _ := NewKey()
+	b1, _ := Seal(k, []byte("x"), nil)
+	b2, _ := Seal(k, []byte("x"), nil)
+	if bytes.Equal(b1, b2) {
+		t.Error("Seal is deterministic: ciphertexts reveal plaintext equality")
+	}
+}
+
+func TestOpenRejectsWrongKey(t *testing.T) {
+	k1, _ := NewKey()
+	k2, _ := NewKey()
+	box, _ := Seal(k1, []byte("secret"), nil)
+	if _, err := Open(k2, box, nil); err != ErrDecrypt {
+		t.Errorf("Open with wrong key: err = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	k, _ := NewKey()
+	box, _ := Seal(k, []byte("secret"), []byte("hdr"))
+	for i := 0; i < len(box); i += 7 {
+		tampered := append([]byte(nil), box...)
+		tampered[i] ^= 0x01
+		if _, err := Open(k, tampered, []byte("hdr")); err != ErrDecrypt {
+			t.Fatalf("tampered byte %d accepted", i)
+		}
+	}
+}
+
+func TestOpenRejectsWrongAD(t *testing.T) {
+	k, _ := NewKey()
+	box, _ := Seal(k, []byte("secret"), []byte("AdminMsg,L,A"))
+	if _, err := Open(k, box, []byte("Ack,L,A")); err != ErrDecrypt {
+		t.Error("relabeled header accepted: AD not bound")
+	}
+}
+
+func TestOpenRejectsTruncated(t *testing.T) {
+	k, _ := NewKey()
+	box, _ := Seal(k, []byte("secret"), nil)
+	for _, n := range []int{0, 1, 11, len(box) - 1} {
+		if _, err := Open(k, box[:n], nil); err != ErrDecrypt {
+			t.Errorf("truncated ciphertext of %d bytes accepted", n)
+		}
+	}
+}
+
+func TestSealInvalidKey(t *testing.T) {
+	var k Key
+	if _, err := Seal(k, []byte("x"), nil); err == nil {
+		t.Error("Seal with invalid key succeeded")
+	}
+	if _, err := Open(k, []byte("xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"), nil); err != ErrDecrypt {
+		t.Error("Open with invalid key did not return ErrDecrypt")
+	}
+}
+
+func TestSealOpenProperty(t *testing.T) {
+	k, _ := NewKey()
+	f := func(plaintext, ad []byte) bool {
+		box, err := Seal(k, plaintext, ad)
+		if err != nil {
+			return false
+		}
+		got, err := Open(k, box, ad)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, plaintext)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeriveKeyDeterministic(t *testing.T) {
+	k1 := DeriveKey("alice", "leader", "hunter2")
+	k2 := DeriveKey("alice", "leader", "hunter2")
+	if !k1.Equal(k2) {
+		t.Error("derivation not deterministic")
+	}
+}
+
+func TestDeriveKeySeparation(t *testing.T) {
+	base := DeriveKey("alice", "leader", "hunter2")
+	tests := []struct {
+		name string
+		k    Key
+	}{
+		{"different password", DeriveKey("alice", "leader", "hunter3")},
+		{"different user", DeriveKey("bob", "leader", "hunter2")},
+		{"different leader", DeriveKey("alice", "leader2", "hunter2")},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if base.Equal(tt.k) {
+				t.Error("derived keys collide")
+			}
+		})
+	}
+}
+
+func TestPBKDF2KnownVector(t *testing.T) {
+	// RFC 7914 section 11 test vector: PBKDF2-HMAC-SHA-256
+	// P="passwd", S="salt", c=1, dkLen=64.
+	got := pbkdf2(32, []byte("passwd"), []byte("salt"), 1, 64)
+	want, _ := hex.DecodeString(
+		"55ac046e56e3089fec1691c22544b605f94185216dde0465e68b9d57c20dacbc" +
+			"49ca9cccf179b645991664b39d77ef317c71b845b1e30bd509112041d3a19783")
+	if !bytes.Equal(got, want) {
+		t.Errorf("pbkdf2 = %x, want %x", got, want)
+	}
+}
+
+func TestPBKDF2SecondVector(t *testing.T) {
+	// RFC 7914: P="Password", S="NaCl", c=80000, dkLen=64.
+	if testing.Short() {
+		t.Skip("80000 iterations in -short mode")
+	}
+	got := pbkdf2(32, []byte("Password"), []byte("NaCl"), 80000, 64)
+	want, _ := hex.DecodeString(
+		"4ddcd8f60b98be21830cee5ef22701f9641a4418d04c0414aeff08876b34ab56" +
+			"a1d425a1225833549adb841b51c9b3176a272bdebba1d078478f62b397f33c8d")
+	if !bytes.Equal(got, want) {
+		t.Errorf("pbkdf2 = %x, want %x", got, want)
+	}
+}

@@ -1,0 +1,100 @@
+package crypto
+
+import (
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+)
+
+// This file implements the paper's footnote-1 extension: "Authentication
+// using public-key cryptography is also possible, but is not currently
+// implemented." Instead of deriving the long-term key P_a from a password,
+// each user holds an X25519 key pair whose public half is registered with
+// the leader (and vice versa); P_a is then derived from the static-static
+// Diffie-Hellman shared secret. The protocol engines are unchanged — they
+// consume a Key either way — so the verified properties carry over: P_a is
+// still a long-term secret known exactly to A and L.
+
+// Identity is a long-term X25519 key pair identifying a user or leader.
+type Identity struct {
+	priv *ecdh.PrivateKey
+}
+
+// PublicIdentity is the shareable half of an Identity.
+type PublicIdentity struct {
+	pub *ecdh.PublicKey
+}
+
+// NewIdentity generates a fresh X25519 identity.
+func NewIdentity() (Identity, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return Identity{}, fmt.Errorf("crypto: generate identity: %w", err)
+	}
+	return Identity{priv: priv}, nil
+}
+
+// Public returns the shareable public identity.
+func (id Identity) Public() PublicIdentity {
+	if id.priv == nil {
+		return PublicIdentity{}
+	}
+	return PublicIdentity{pub: id.priv.PublicKey()}
+}
+
+// Valid reports whether the identity holds a key pair.
+func (id Identity) Valid() bool { return id.priv != nil }
+
+// Valid reports whether the public identity holds a key.
+func (p PublicIdentity) Valid() bool { return p.pub != nil }
+
+// Bytes returns the public key encoding.
+func (p PublicIdentity) Bytes() []byte {
+	if p.pub == nil {
+		return nil
+	}
+	return p.pub.Bytes()
+}
+
+// PublicIdentityFromBytes parses a public identity from its encoding.
+func PublicIdentityFromBytes(b []byte) (PublicIdentity, error) {
+	pub, err := ecdh.X25519().NewPublicKey(b)
+	if err != nil {
+		return PublicIdentity{}, fmt.Errorf("crypto: parse public identity: %w", err)
+	}
+	return PublicIdentity{pub: pub}, nil
+}
+
+// LongTermFromIdentities derives the long-term key P_a from the
+// static-static X25519 shared secret between a private identity and the
+// peer's public identity. Both sides derive the same key:
+//
+//	LongTermFromIdentities(userPriv, leaderPub, user, leader)
+//	  == LongTermFromIdentities(leaderPriv, userPub, user, leader)
+//
+// The user and leader names are bound into the derivation so the same key
+// pair used with different leaders (or user names) yields unrelated keys.
+func LongTermFromIdentities(own Identity, peer PublicIdentity, user, leader string) (Key, error) {
+	if !own.Valid() || !peer.Valid() {
+		return Key{}, fmt.Errorf("crypto: invalid identity")
+	}
+	secret, err := own.priv.ECDH(peer.pub)
+	if err != nil {
+		return Key{}, fmt.Errorf("crypto: ecdh: %w", err)
+	}
+	// HKDF-style extract-and-expand over the shared secret, with the role
+	// names as context.
+	mac := hmac.New(sha256.New, []byte("enclaves/pk/v1"))
+	mac.Write(secret)
+	prk := mac.Sum(nil)
+
+	mac = hmac.New(sha256.New, prk)
+	mac.Write([]byte(user))
+	mac.Write([]byte{0})
+	mac.Write([]byte(leader))
+	mac.Write([]byte{1})
+	okm := mac.Sum(nil)
+	return KeyFromBytes(okm[:KeySize])
+}

@@ -1,0 +1,104 @@
+package crypto
+
+import (
+	"testing"
+)
+
+func TestIdentityGeneration(t *testing.T) {
+	id, err := NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !id.Valid() || !id.Public().Valid() {
+		t.Error("fresh identity invalid")
+	}
+	var zero Identity
+	if zero.Valid() || zero.Public().Valid() {
+		t.Error("zero identity reported valid")
+	}
+}
+
+func TestPublicIdentityRoundTrip(t *testing.T) {
+	id, _ := NewIdentity()
+	pub := id.Public()
+	parsed, err := PublicIdentityFromBytes(pub.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(parsed.Bytes()) != string(pub.Bytes()) {
+		t.Error("public identity round trip failed")
+	}
+	if _, err := PublicIdentityFromBytes([]byte("short")); err == nil {
+		t.Error("malformed public identity accepted")
+	}
+	if len((PublicIdentity{}).Bytes()) != 0 {
+		t.Error("zero public identity has bytes")
+	}
+}
+
+func TestLongTermFromIdentitiesAgreement(t *testing.T) {
+	userID, _ := NewIdentity()
+	leaderID, _ := NewIdentity()
+
+	// Both sides must derive the same P_a.
+	pa1, err := LongTermFromIdentities(userID, leaderID.Public(), "alice", "leader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa2, err := LongTermFromIdentities(leaderID, userID.Public(), "alice", "leader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pa1.Equal(pa2) {
+		t.Fatal("the two sides derived different long-term keys")
+	}
+	if !pa1.Valid() {
+		t.Fatal("derived key invalid")
+	}
+}
+
+func TestLongTermFromIdentitiesSeparation(t *testing.T) {
+	userID, _ := NewIdentity()
+	leaderID, _ := NewIdentity()
+	otherID, _ := NewIdentity()
+
+	base, _ := LongTermFromIdentities(userID, leaderID.Public(), "alice", "leader")
+	tests := []struct {
+		name string
+		k    func() (Key, error)
+	}{
+		{"different peer", func() (Key, error) {
+			return LongTermFromIdentities(userID, otherID.Public(), "alice", "leader")
+		}},
+		{"different user name", func() (Key, error) {
+			return LongTermFromIdentities(userID, leaderID.Public(), "bob", "leader")
+		}},
+		{"different leader name", func() (Key, error) {
+			return LongTermFromIdentities(userID, leaderID.Public(), "alice", "other")
+		}},
+		{"swapped names", func() (Key, error) {
+			return LongTermFromIdentities(userID, leaderID.Public(), "leader", "alice")
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			k, err := tt.k()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base.Equal(k) {
+				t.Error("derived keys collide")
+			}
+		})
+	}
+}
+
+func TestLongTermFromIdentitiesValidation(t *testing.T) {
+	id, _ := NewIdentity()
+	if _, err := LongTermFromIdentities(Identity{}, id.Public(), "a", "l"); err == nil {
+		t.Error("invalid own identity accepted")
+	}
+	if _, err := LongTermFromIdentities(id, PublicIdentity{}, "a", "l"); err == nil {
+		t.Error("invalid peer identity accepted")
+	}
+}

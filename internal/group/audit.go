@@ -1,0 +1,100 @@
+package group
+
+import (
+	"fmt"
+
+	"enclaves/internal/queue"
+)
+
+// EventKind classifies leader audit events.
+type EventKind uint8
+
+// Leader audit event kinds. Rejected events are the observable footprint of
+// tolerated intrusion attempts — an operator watching them gets intrusion
+// *detection* on top of the protocol's intrusion *tolerance*.
+const (
+	EventJoined EventKind = iota + 1
+	EventLeft
+	EventExpelled
+	EventRekeyed
+	EventRejected
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventJoined:
+		return "Joined"
+	case EventLeft:
+		return "Left"
+	case EventExpelled:
+		return "Expelled"
+	case EventRekeyed:
+		return "Rekeyed"
+	case EventRejected:
+		return "Rejected"
+	default:
+		return "invalid"
+	}
+}
+
+// Event is one leader audit record.
+type Event struct {
+	Kind EventKind
+	// User is the member concerned (empty for Rekeyed).
+	User string
+	// Epoch is the group-key epoch after the event.
+	Epoch uint64
+	// Detail carries diagnostic context (e.g. the rejection reason).
+	Detail string
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%s user=%q epoch=%d", e.Kind, e.User, e.Epoch)
+	if e.Detail != "" {
+		s += " (" + e.Detail + ")"
+	}
+	return s
+}
+
+// auditor dispatches audit events to the application callback from its own
+// goroutine, so a slow consumer never blocks the protocol.
+type auditor struct {
+	q    *queue.Queue[Event]
+	done chan struct{}
+}
+
+func newAuditor(sink func(Event)) *auditor {
+	a := &auditor{
+		q:    queue.New[Event](),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(a.done)
+		for {
+			ev, err := a.q.Pop()
+			if err != nil {
+				return
+			}
+			sink(ev)
+		}
+	}()
+	return a
+}
+
+// emit enqueues an event; drops are impossible (unbounded queue) and a
+// closed auditor (leader shutting down) ignores late events.
+func (a *auditor) emit(ev Event) {
+	if a == nil {
+		return
+	}
+	_ = a.q.Push(ev)
+}
+
+// stop drains pending events and waits for the dispatcher to exit.
+func (a *auditor) stop() {
+	if a == nil {
+		return
+	}
+	a.q.Close()
+	<-a.done
+}

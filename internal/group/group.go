@@ -1,0 +1,478 @@
+// Package group implements the leader side of an Enclaves application
+// (Figure 1): it authenticates joining members with the improved protocol
+// of Section 3.2 (via core.LeaderSession), maintains the authoritative
+// membership, generates and rotates the group key K_g according to an
+// application-dependent rekey policy (Section 2.1), distributes every
+// group-management message over the verified ack-gated AdminMsg pipeline,
+// and relays application multicast between members.
+package group
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"enclaves/internal/core"
+	"enclaves/internal/crypto"
+	"enclaves/internal/queue"
+	"enclaves/internal/transport"
+	"enclaves/internal/wire"
+)
+
+// RekeyPolicy selects when the leader generates a new group key
+// ("Typically, new keys can be generated when new members join, when
+// members leave, or on a periodic basis" — Section 2.2). Periodic rekeying
+// is driven by the application calling Leader.Rekey from its own timer, so
+// the library stays deterministic.
+type RekeyPolicy struct {
+	// OnJoin rotates the key every time a member joins, denying new
+	// members access to earlier traffic (backward secrecy).
+	OnJoin bool
+	// OnLeave rotates the key every time a member leaves or is expelled,
+	// denying past members access to future traffic (forward secrecy).
+	// This is the policy the Section 2.3 rollback attack subverts in the
+	// legacy protocol.
+	OnLeave bool
+}
+
+// DefaultRekeyPolicy rotates on both joins and leaves.
+func DefaultRekeyPolicy() RekeyPolicy {
+	return RekeyPolicy{OnJoin: true, OnLeave: true}
+}
+
+// Config configures a Leader.
+type Config struct {
+	// Name is the leader's identity L.
+	Name string
+	// Users maps each authorized user to the long-term key P_user shared
+	// with the leader (derive with crypto.DeriveKey).
+	Users map[string]crypto.Key
+	// Rekey selects the group-key rotation policy.
+	Rekey RekeyPolicy
+	// Logf, if non-nil, receives diagnostic log lines.
+	Logf func(format string, args ...any)
+	// OnEvent, if non-nil, receives audit events (joins, leaves,
+	// expulsions, rekeys, and rejected frames) from a dedicated dispatcher
+	// goroutine, in order. Rejected events surface tolerated intrusion
+	// attempts to monitoring.
+	OnEvent func(Event)
+}
+
+// Leader is a running Enclaves group leader.
+type Leader struct {
+	name  string
+	rekey RekeyPolicy
+	logf  func(string, ...any)
+	audit *auditor
+
+	mu       sync.Mutex
+	users    map[string]crypto.Key
+	sessions map[string]*memberConn // accepted members by name
+	groupKey crypto.Key
+	epoch    uint64
+	closed   bool
+	conns    map[transport.Conn]bool // every live connection, accepted or not
+
+	wg sync.WaitGroup
+}
+
+// memberConn couples a member's connection with its protocol engine and a
+// writer goroutine, so broadcasting never blocks on a slow member.
+type memberConn struct {
+	user   string
+	conn   transport.Conn
+	engine *core.LeaderSession
+	out    *queue.Queue[wire.Envelope]
+}
+
+// NewLeader creates a leader with the given configuration and generates the
+// initial group key (epoch 1) — "the group leader generates a first group
+// key when the first member is accepted"; generating it eagerly is
+// equivalent since no traffic precedes the first member.
+func NewLeader(cfg Config) (*Leader, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("group: leader name must be non-empty")
+	}
+	users := make(map[string]crypto.Key, len(cfg.Users))
+	for u, k := range cfg.Users {
+		if !k.Valid() {
+			return nil, fmt.Errorf("group: invalid long-term key for user %q", u)
+		}
+		users[u] = k
+	}
+	kg, err := crypto.NewKey()
+	if err != nil {
+		return nil, err
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var audit *auditor
+	if cfg.OnEvent != nil {
+		audit = newAuditor(cfg.OnEvent)
+	}
+	return &Leader{
+		name:     cfg.Name,
+		rekey:    cfg.Rekey,
+		logf:     logf,
+		audit:    audit,
+		users:    users,
+		sessions: make(map[string]*memberConn),
+		conns:    make(map[transport.Conn]bool),
+		groupKey: kg,
+		epoch:    1,
+	}, nil
+}
+
+// Name returns the leader's identity.
+func (g *Leader) Name() string { return g.name }
+
+// Members returns the current membership in sorted order.
+func (g *Leader) Members() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.membersLocked()
+}
+
+func (g *Leader) membersLocked() []string {
+	out := make([]string, 0, len(g.sessions))
+	for u := range g.sessions {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Epoch returns the current group-key epoch.
+func (g *Leader) Epoch() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.epoch
+}
+
+// GroupKey returns the current group key. Exposed for tests and for
+// leader-originated application traffic.
+func (g *Leader) GroupKey() (crypto.Key, uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.groupKey, g.epoch
+}
+
+// AddUser registers (or updates) an authorized user at runtime.
+func (g *Leader) AddUser(name string, longTerm crypto.Key) error {
+	if !longTerm.Valid() {
+		return fmt.Errorf("group: invalid long-term key for user %q", name)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.users[name] = longTerm
+	return nil
+}
+
+// Serve accepts and serves member connections until the listener fails or
+// Close is called. It blocks; run it in a goroutine.
+func (g *Leader) Serve(l transport.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			g.mu.Lock()
+			closed := g.closed
+			g.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("group: accept: %w", err)
+		}
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			g.serveConn(conn)
+		}()
+	}
+}
+
+// Close disconnects every connection (accepted or mid-handshake) and stops
+// serving.
+func (g *Leader) Close() {
+	g.mu.Lock()
+	g.closed = true
+	conns := make([]transport.Conn, 0, len(g.conns))
+	for c := range g.conns {
+		conns = append(conns, c)
+	}
+	sessions := make([]*memberConn, 0, len(g.sessions))
+	for _, s := range g.sessions {
+		sessions = append(sessions, s)
+	}
+	g.mu.Unlock()
+	for _, s := range sessions {
+		s.out.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	g.wg.Wait()
+	g.audit.stop()
+}
+
+// Rekey generates and distributes a new group key immediately. Use it for
+// periodic or event-driven policies beyond join/leave.
+func (g *Leader) Rekey() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.rekeyLocked()
+}
+
+func (g *Leader) rekeyLocked() error {
+	kg, err := crypto.NewKey()
+	if err != nil {
+		return err
+	}
+	g.groupKey = kg
+	g.epoch++
+	g.logf("group: rekey to epoch %d", g.epoch)
+	g.audit.emit(Event{Kind: EventRekeyed, Epoch: g.epoch})
+	g.broadcastAdminLocked(wire.NewGroupKey{Epoch: g.epoch, Key: kg}, "")
+	return nil
+}
+
+// Expel removes a member against its will (the "variation of this protocol
+// [that] can be used to expel some members", Section 2.2): its connection
+// is dropped, the group is informed, and the key is rotated per policy.
+func (g *Leader) Expel(user string) error {
+	g.mu.Lock()
+	s, ok := g.sessions[user]
+	if !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("group: %q is not a member", user)
+	}
+	delete(g.sessions, user)
+	g.departedLocked(user)
+	g.mu.Unlock()
+
+	s.out.Close()
+	s.conn.Close()
+	g.logf("group: expelled %s", user)
+	g.audit.emit(Event{Kind: EventExpelled, User: user, Epoch: g.Epoch()})
+	return nil
+}
+
+// serveConn runs the protocol for one inbound connection.
+func (g *Leader) serveConn(conn transport.Conn) {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		conn.Close()
+		return
+	}
+	g.conns[conn] = true
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		delete(g.conns, conn)
+		g.mu.Unlock()
+		conn.Close()
+	}()
+
+	// First frame must be an AuthInitReq; its (unauthenticated) sender
+	// name selects the long-term key, and the encrypted identities inside
+	// then authenticate the claim.
+	first, err := conn.Recv()
+	if err != nil {
+		return
+	}
+	if first.Type != wire.TypeAuthInitReq {
+		g.logf("group: connection opened with %s, dropping", first.Type)
+		return
+	}
+	g.mu.Lock()
+	longTerm, known := g.users[first.Sender]
+	g.mu.Unlock()
+	if !known {
+		g.logf("group: join from unknown user %q", first.Sender)
+		return
+	}
+	engine, err := core.NewLeaderSession(g.name, first.Sender, longTerm)
+	if err != nil {
+		return
+	}
+	ev, err := engine.Handle(first)
+	if err != nil {
+		g.logf("group: auth of %q failed: %v", first.Sender, err)
+		return
+	}
+	if err := conn.Send(*ev.Reply); err != nil {
+		return
+	}
+
+	s := &memberConn{
+		user:   engine.User(),
+		conn:   conn,
+		engine: engine,
+		out:    queue.New[wire.Envelope](),
+	}
+	// Writer goroutine: drains the outbox so broadcasts never block.
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for {
+			env, err := s.out.Pop()
+			if err != nil {
+				return
+			}
+			if err := s.conn.Send(env); err != nil {
+				return
+			}
+		}
+	}()
+
+	g.readLoop(s)
+
+	// Connection is gone (clean close or failure): if the member was still
+	// accepted, treat it as a leave.
+	g.mu.Lock()
+	if cur, ok := g.sessions[s.user]; ok && cur == s {
+		delete(g.sessions, s.user)
+		g.departedLocked(s.user)
+	}
+	g.mu.Unlock()
+	s.out.Close()
+	conn.Close()
+	<-writerDone
+}
+
+// readLoop processes frames from one member until the connection drops or
+// the session closes.
+func (g *Leader) readLoop(s *memberConn) {
+	for {
+		env, err := s.conn.Recv()
+		if err != nil {
+			return
+		}
+		switch env.Type {
+		case wire.TypeAppData:
+			g.relay(s, env)
+		default:
+			done := g.handleProtocol(s, env)
+			if done {
+				return
+			}
+		}
+	}
+}
+
+// handleProtocol feeds a protocol frame to the member's engine under the
+// group lock. It returns true when the session has closed.
+func (g *Leader) handleProtocol(s *memberConn, env wire.Envelope) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	ev, err := s.engine.Handle(env)
+	if err != nil {
+		// Rejected frame (replay, forgery, wrong state): log and drop; the
+		// session stays healthy. This is the intrusion tolerance in action.
+		g.logf("group: rejected %s from %s: %v", env.Type, s.user, err)
+		g.audit.emit(Event{Kind: EventRejected, User: s.user, Epoch: g.epoch, Detail: err.Error()})
+		return false
+	}
+	if ev.Reply != nil {
+		g.push(s, *ev.Reply)
+	}
+	if ev.Accepted {
+		g.acceptLocked(s)
+	}
+	if ev.Closed {
+		delete(g.sessions, s.user)
+		g.departedLocked(s.user)
+		g.logf("group: %s left", s.user)
+		g.audit.emit(Event{Kind: EventLeft, User: s.user, Epoch: g.epoch})
+		return true
+	}
+	return false
+}
+
+// acceptLocked finishes a successful join: register the member, inform the
+// group, and distribute keys per policy.
+func (g *Leader) acceptLocked(s *memberConn) {
+	g.sessions[s.user] = s
+	g.logf("group: %s joined (members: %v)", s.user, g.membersLocked())
+	g.audit.emit(Event{Kind: EventJoined, User: s.user, Epoch: g.epoch})
+
+	// Inform the rest of the group first, then bring the new member up to
+	// date. Admin messages to each member are totally ordered by the
+	// verified pipeline, so every member sees a consistent history.
+	g.broadcastAdminLocked(wire.MemberJoined{Name: s.user}, s.user)
+
+	if g.rekey.OnJoin {
+		// rekeyLocked broadcasts NewGroupKey to everyone including the
+		// new member.
+		if err := g.rekeyLocked(); err != nil {
+			g.logf("group: rekey on join: %v", err)
+		}
+	} else {
+		g.sendAdminLocked(s, wire.NewGroupKey{Epoch: g.epoch, Key: g.groupKey})
+	}
+	g.sendAdminLocked(s, wire.MemberList{Names: g.membersLocked()})
+}
+
+// departedLocked announces a departure and rotates the key per policy. The
+// caller must have removed the member from g.sessions already.
+func (g *Leader) departedLocked(user string) {
+	g.broadcastAdminLocked(wire.MemberLeft{Name: user}, "")
+	if g.rekey.OnLeave && len(g.sessions) > 0 {
+		if err := g.rekeyLocked(); err != nil {
+			g.logf("group: rekey on leave: %v", err)
+		}
+	}
+}
+
+// broadcastAdminLocked queues an admin body for every member except skip.
+func (g *Leader) broadcastAdminLocked(body wire.AdminBody, skip string) {
+	for user, s := range g.sessions {
+		if user == skip {
+			continue
+		}
+		g.sendAdminLocked(s, body)
+	}
+}
+
+// sendAdminLocked pushes an admin body into one member's verified pipeline.
+func (g *Leader) sendAdminLocked(s *memberConn, body wire.AdminBody) {
+	env, err := s.engine.Send(body)
+	if err != nil {
+		g.logf("group: admin to %s: %v", s.user, err)
+		return
+	}
+	if env != nil {
+		g.push(s, *env)
+	}
+}
+
+// push enqueues an envelope on a member's outbox; a closed outbox (member
+// tearing down) is not an error worth surfacing.
+func (g *Leader) push(s *memberConn, env wire.Envelope) {
+	if err := s.out.Push(env); err != nil {
+		g.logf("group: outbox of %s closed", s.user)
+	}
+}
+
+// relay forwards application data from one member to all others, unchanged.
+// The leader does not need to decrypt: confidentiality is end-to-end under
+// the group key (the leader holds K_g anyway, but relaying verbatim keeps
+// the AEAD header binding intact for receivers).
+func (g *Leader) relay(from *memberConn, env wire.Envelope) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, accepted := g.sessions[from.user]; !accepted {
+		g.logf("group: app data from non-member %s dropped", from.user)
+		return
+	}
+	for user, s := range g.sessions {
+		if user == from.user {
+			continue
+		}
+		g.push(s, env)
+	}
+}

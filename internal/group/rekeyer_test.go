@@ -1,0 +1,65 @@
+package group
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"enclaves/internal/crypto"
+)
+
+func TestAutoRekeyRotates(t *testing.T) {
+	g, err := NewLeader(Config{
+		Name:  leaderName,
+		Users: map[string]crypto.Key{"alice": crypto.DeriveKey("alice", leaderName, "pw")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := StartAutoRekey(g, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := g.Epoch()
+	waitFor(t, "several periodic rekeys", func() bool { return g.Epoch() >= start+3 })
+	r.Stop()
+
+	// After Stop, no further rotation.
+	after := g.Epoch()
+	time.Sleep(30 * time.Millisecond)
+	if g.Epoch() != after {
+		t.Errorf("epoch advanced after Stop: %d -> %d", after, g.Epoch())
+	}
+}
+
+func TestAutoRekeyRejectsBadPeriod(t *testing.T) {
+	g, err := NewLeader(Config{
+		Name:  leaderName,
+		Users: map[string]crypto.Key{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StartAutoRekey(g, 0); !errors.Is(err, ErrBadPeriod) {
+		t.Errorf("zero period: err = %v", err)
+	}
+	if _, err := StartAutoRekey(g, -time.Second); !errors.Is(err, ErrBadPeriod) {
+		t.Errorf("negative period: err = %v", err)
+	}
+}
+
+// TestAutoRekeyReachesMembers runs the periodic policy end to end.
+func TestAutoRekeyReachesMembers(t *testing.T) {
+	g, net := testGroup(t, RekeyPolicy{}, "alice")
+	alice := join(t, net, "alice")
+	defer alice.Leave()
+	waitFor(t, "alice keyed", func() bool { return alice.Epoch() > 0 })
+
+	r, err := StartAutoRekey(g, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	start := alice.Epoch()
+	waitFor(t, "alice tracks periodic rekeys", func() bool { return alice.Epoch() >= start+3 })
+}

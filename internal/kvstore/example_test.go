@@ -1,0 +1,40 @@
+package kvstore_test
+
+import (
+	"fmt"
+
+	"enclaves/internal/kvstore"
+)
+
+// Example replicates two stores by hand: updates produced by one are
+// applied to the other (in an application, member.Member.SendData carries
+// them and EventData delivers them).
+func Example() {
+	var wire [][]byte
+	alice := kvstore.New("alice", func(b []byte) error {
+		wire = append(wire, b)
+		return nil
+	})
+	bob := kvstore.New("bob", nil)
+
+	alice.Set("topic", "enclaves")
+	alice.Set("room", "göteborg")
+	alice.Delete("room")
+
+	for _, update := range wire {
+		if err := bob.Apply(update); err != nil {
+			panic(err)
+		}
+	}
+
+	topic, _ := bob.Get("topic")
+	fmt.Println("bob sees topic:", topic)
+	_, roomExists := bob.Get("room")
+	fmt.Println("bob sees room:", roomExists)
+	fmt.Println("replicas equal:", alice.Fingerprint() == bob.Fingerprint())
+
+	// Output:
+	// bob sees topic: enclaves
+	// bob sees room: false
+	// replicas equal: true
+}

@@ -1,0 +1,131 @@
+package kvstore
+
+import (
+	"testing"
+	"time"
+
+	"enclaves/internal/crypto"
+	"enclaves/internal/group"
+	"enclaves/internal/member"
+	"enclaves/internal/transport"
+)
+
+// TestReplicationOverGroup wires three stores to real group members: every
+// write multicasts through the leader under the group key, and all replicas
+// converge.
+func TestReplicationOverGroup(t *testing.T) {
+	const leaderName = "leader"
+	users := []string{"alice", "bob", "carol"}
+	keys := make(map[string]crypto.Key, len(users))
+	for _, u := range users {
+		keys[u] = crypto.DeriveKey(u, leaderName, u+"-pw")
+	}
+	g, err := group.NewLeader(group.Config{Name: leaderName, Users: keys, Rekey: group.DefaultRekeyPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewMemNetwork()
+	defer net.Close()
+	l, err := net.Listen(leaderName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go g.Serve(l)
+	defer func() {
+		g.Close()
+		l.Close()
+	}()
+
+	type replica struct {
+		m *member.Member
+		s *Store
+	}
+	replicas := make(map[string]*replica, len(users))
+	for _, u := range users {
+		conn, err := net.Dial(leaderName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := member.Join(conn, u, leaderName, keys[u])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WaitReady(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		r := &replica{m: m, s: New(u, m.SendData)}
+		replicas[u] = r
+		// Pump member data events into the store.
+		go func() {
+			for {
+				ev, err := r.m.Next()
+				if err != nil {
+					return
+				}
+				if ev.Kind == member.EventData {
+					_ = r.s.Apply(ev.Data)
+				}
+			}
+		}()
+	}
+	defer func() {
+		for _, r := range replicas {
+			r.m.Leave()
+		}
+	}()
+
+	// Wait for the final epoch to settle (rekey-on-join), then write from
+	// every member.
+	waitConverged := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("timeout: %s", what)
+	}
+	waitConverged("epochs", func() bool {
+		for _, r := range replicas {
+			if r.m.Epoch() != g.Epoch() {
+				return false
+			}
+		}
+		return true
+	})
+
+	if err := replicas["alice"].s.Set("topic", "dsn01"); err != nil {
+		t.Fatal(err)
+	}
+	if err := replicas["bob"].s.Set("room", "göteborg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := replicas["carol"].s.Set("topic", "enclaves"); err != nil {
+		t.Fatal(err)
+	}
+
+	waitConverged("replica states", func() bool {
+		fp := ""
+		for _, r := range replicas {
+			cur := r.s.Fingerprint()
+			if fp == "" {
+				fp = cur
+			}
+			if cur != fp || r.s.Len() != 2 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// All replicas agree on the conflicting key, deterministically.
+	want, _ := replicas["alice"].s.Get("topic")
+	for u, r := range replicas {
+		got, ok := r.s.Get("topic")
+		if !ok || got != want {
+			t.Errorf("%s sees topic=%q want %q", u, got, want)
+		}
+	}
+}

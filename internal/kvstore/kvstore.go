@@ -1,0 +1,216 @@
+// Package kvstore is a replicated last-writer-wins key-value store built on
+// Enclaves group multicast — a concrete instance of the groupware
+// applications the paper targets ("groupware applications enable users to
+// share information and collaborate via a network", Section 2.1).
+//
+// Every member holds a full replica. Writes are stamped with a Lamport
+// clock and the writer's name, multicast to the group (encrypted under the
+// group key by the member layer), and merged deterministically: the entry
+// with the higher (clock, writer) pair wins, so all replicas converge to
+// the same state regardless of delivery interleaving. The store is a pure
+// state machine over []byte updates; wiring it to a member.Member (or any
+// transport) is the caller's choice, which keeps it directly testable.
+package kvstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Update is one replicated write. Exported fields are serialized; the
+// store's updates are opaque bytes to the transport.
+type Update struct {
+	Key    string `json:"key"`
+	Value  string `json:"value"`
+	Clock  uint64 `json:"clock"`
+	Writer string `json:"writer"`
+	// Delete marks a tombstone write.
+	Delete bool `json:"delete,omitempty"`
+}
+
+// entry is the stored state of one key.
+type entry struct {
+	value   string
+	clock   uint64
+	writer  string
+	deleted bool
+}
+
+// wins reports whether the update should supersede the entry, using the
+// total order (clock, writer).
+func (e entry) losesTo(u Update) bool {
+	if u.Clock != e.clock {
+		return u.Clock > e.clock
+	}
+	return u.Writer > e.writer
+}
+
+// SendFunc multicasts an encoded update to the group. member.Member's
+// SendData satisfies it.
+type SendFunc func([]byte) error
+
+// Store is one member's replica.
+type Store struct {
+	name string
+	send SendFunc
+
+	mu    sync.Mutex
+	data  map[string]entry
+	clock uint64
+
+	applied  uint64
+	rejected uint64
+}
+
+// New creates a replica owned by the named member; send multicasts encoded
+// updates (pass nil for a read-only follower).
+func New(name string, send SendFunc) *Store {
+	return &Store{
+		name: name,
+		send: send,
+		data: make(map[string]entry),
+	}
+}
+
+// Set writes a key and multicasts the update.
+func (s *Store) Set(key, value string) error {
+	return s.write(Update{Key: key, Value: value})
+}
+
+// Delete removes a key (with a tombstone, so the deletion replicates).
+func (s *Store) Delete(key string) error {
+	return s.write(Update{Key: key, Delete: true})
+}
+
+func (s *Store) write(u Update) error {
+	s.mu.Lock()
+	s.clock++
+	u.Clock = s.clock
+	u.Writer = s.name
+	s.applyLocked(u)
+	s.mu.Unlock()
+
+	if s.send == nil {
+		return nil
+	}
+	data, err := json.Marshal(u)
+	if err != nil {
+		return fmt.Errorf("kvstore: encode update: %w", err)
+	}
+	return s.send(data)
+}
+
+// Apply merges a received update (the Data payload of a member event).
+// Malformed updates are rejected and counted, never fatal.
+func (s *Store) Apply(data []byte) error {
+	var u Update
+	if err := json.Unmarshal(data, &u); err != nil {
+		s.mu.Lock()
+		s.rejected++
+		s.mu.Unlock()
+		return fmt.Errorf("kvstore: decode update: %w", err)
+	}
+	if u.Key == "" || u.Writer == "" {
+		s.mu.Lock()
+		s.rejected++
+		s.mu.Unlock()
+		return fmt.Errorf("kvstore: update missing key or writer")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Lamport clock advance.
+	if u.Clock > s.clock {
+		s.clock = u.Clock
+	}
+	s.applyLocked(u)
+	return nil
+}
+
+// applyLocked merges u under the LWW rule.
+func (s *Store) applyLocked(u Update) {
+	cur, exists := s.data[u.Key]
+	if exists && !cur.losesTo(u) {
+		return
+	}
+	s.data[u.Key] = entry{value: u.Value, clock: u.Clock, writer: u.Writer, deleted: u.Delete}
+	s.applied++
+}
+
+// Get returns the value for key.
+func (s *Store) Get(key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.data[key]
+	if !ok || e.deleted {
+		return "", false
+	}
+	return e.value, true
+}
+
+// Len returns the number of live (non-tombstone) keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.data {
+		if !e.deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// Keys returns the live keys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.data))
+	for k, e := range s.data {
+		if !e.deleted {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns a copy of the live state.
+func (s *Store) Snapshot() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.data))
+	for k, e := range s.data {
+		if !e.deleted {
+			out[k] = e.value
+		}
+	}
+	return out
+}
+
+// Fingerprint returns a deterministic digestable rendering of the state,
+// equal across converged replicas (tombstones included, since they are
+// state too).
+func (s *Store) Fingerprint() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		e := s.data[k]
+		out += fmt.Sprintf("%q=%q@%d/%s/%t;", k, e.value, e.clock, e.writer, e.deleted)
+	}
+	return out
+}
+
+// Stats returns how many updates were applied and rejected.
+func (s *Store) Stats() (applied, rejected uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied, s.rejected
+}

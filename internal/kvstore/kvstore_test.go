@@ -1,0 +1,214 @@
+package kvstore
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func TestSetGet(t *testing.T) {
+	s := New("alice", nil)
+	if err := s.Set("color", "blue"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Get("color")
+	if !ok || v != "blue" {
+		t.Errorf("Get = %q, %v", v, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Error("missing key found")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New("alice", nil)
+	s.Set("k", "v")
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Error("deleted key still visible")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after delete", s.Len())
+	}
+	// Tombstone still participates in the fingerprint.
+	if s.Fingerprint() == New("alice", nil).Fingerprint() {
+		t.Error("tombstone not part of state")
+	}
+}
+
+func TestSendCalledWithDecodableUpdate(t *testing.T) {
+	var sent [][]byte
+	s := New("alice", func(b []byte) error {
+		sent = append(sent, b)
+		return nil
+	})
+	s.Set("k", "v")
+	if len(sent) != 1 {
+		t.Fatalf("sent %d updates", len(sent))
+	}
+	var u Update
+	if err := json.Unmarshal(sent[0], &u); err != nil {
+		t.Fatal(err)
+	}
+	if u.Key != "k" || u.Value != "v" || u.Writer != "alice" || u.Clock == 0 {
+		t.Errorf("update = %+v", u)
+	}
+}
+
+func TestApplyMergesRemoteWrite(t *testing.T) {
+	a := New("alice", nil)
+	b := New("bob", nil)
+	var relayed []byte
+	a.send = func(x []byte) error { relayed = x; return nil }
+	a.Set("k", "from-alice")
+	if err := b.Apply(relayed); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := b.Get("k")
+	if !ok || v != "from-alice" {
+		t.Errorf("bob sees %q, %v", v, ok)
+	}
+}
+
+func TestLWWConflictDeterministic(t *testing.T) {
+	// Same clock, different writers: higher writer name wins everywhere.
+	u1 := mustEncode(t, Update{Key: "k", Value: "one", Clock: 5, Writer: "alice"})
+	u2 := mustEncode(t, Update{Key: "k", Value: "two", Clock: 5, Writer: "bob"})
+
+	inOrder := New("x", nil)
+	inOrder.Apply(u1)
+	inOrder.Apply(u2)
+	reversed := New("y", nil)
+	reversed.Apply(u2)
+	reversed.Apply(u1)
+
+	v1, _ := inOrder.Get("k")
+	v2, _ := reversed.Get("k")
+	if v1 != v2 || v1 != "two" {
+		t.Errorf("order-dependent result: %q vs %q", v1, v2)
+	}
+}
+
+func TestHigherClockWins(t *testing.T) {
+	s := New("x", nil)
+	s.Apply(mustEncode(t, Update{Key: "k", Value: "new", Clock: 9, Writer: "zed"}))
+	s.Apply(mustEncode(t, Update{Key: "k", Value: "old", Clock: 3, Writer: "zzz"}))
+	v, _ := s.Get("k")
+	if v != "new" {
+		t.Errorf("stale write won: %q", v)
+	}
+}
+
+func TestLamportClockAdvances(t *testing.T) {
+	s := New("alice", nil)
+	s.Apply(mustEncode(t, Update{Key: "k", Value: "v", Clock: 100, Writer: "bob"}))
+	var captured Update
+	s.send = func(b []byte) error { return json.Unmarshal(b, &captured) }
+	s.Set("k2", "v2")
+	if captured.Clock <= 100 {
+		t.Errorf("local clock did not advance past remote: %d", captured.Clock)
+	}
+}
+
+func TestApplyRejectsGarbage(t *testing.T) {
+	s := New("alice", nil)
+	if err := s.Apply([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := s.Apply(mustEncode(t, Update{Value: "v", Clock: 1, Writer: "w"})); err == nil {
+		t.Error("update without key accepted")
+	}
+	if err := s.Apply(mustEncode(t, Update{Key: "k", Clock: 1})); err == nil {
+		t.Error("update without writer accepted")
+	}
+	if _, rejected := s.Stats(); rejected != 3 {
+		t.Errorf("rejected = %d, want 3", rejected)
+	}
+}
+
+// TestConvergenceUnderRandomInterleaving generates updates from three
+// writers and applies them to replicas in different random orders: all
+// replicas must converge to identical state.
+func TestConvergenceUnderRandomInterleaving(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+
+	// Generate the update log from three writing replicas.
+	var log [][]byte
+	writers := []*Store{}
+	for _, name := range []string{"alice", "bob", "carol"} {
+		s := New(name, func(b []byte) error {
+			log = append(log, b)
+			return nil
+		})
+		writers = append(writers, s)
+	}
+	keys := []string{"a", "b", "c", "d"}
+	for i := 0; i < 200; i++ {
+		w := writers[r.Intn(len(writers))]
+		k := keys[r.Intn(len(keys))]
+		if r.Intn(8) == 0 {
+			w.Delete(k)
+		} else {
+			w.Set(k, k+"-"+w.name)
+		}
+		// Writers occasionally observe each other (as group members do),
+		// advancing their clocks.
+		if r.Intn(3) == 0 && len(log) > 0 {
+			writers[r.Intn(len(writers))].Apply(log[r.Intn(len(log))])
+		}
+	}
+
+	// Apply the full log to fresh replicas in independent shuffles.
+	replicas := make([]*Store, 4)
+	for i := range replicas {
+		replicas[i] = New("replica", nil)
+		shuffled := append([][]byte(nil), log...)
+		r.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		for _, u := range shuffled {
+			if err := replicas[i].Apply(u); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want := replicas[0].Fingerprint()
+	for i, rep := range replicas {
+		if rep.Fingerprint() != want {
+			t.Fatalf("replica %d diverged:\n%s\nvs\n%s", i, rep.Fingerprint(), want)
+		}
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := New("a", nil)
+	for _, k := range []string{"zebra", "apple", "mango"} {
+		s.Set(k, "x")
+	}
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0] != "apple" || keys[2] != "zebra" {
+		t.Errorf("Keys = %v", keys)
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	s := New("a", nil)
+	s.Set("k", "v")
+	snap := s.Snapshot()
+	snap["k"] = "mutated"
+	if v, _ := s.Get("k"); v != "v" {
+		t.Error("Snapshot exposed internal state")
+	}
+}
+
+func mustEncode(t *testing.T, u Update) []byte {
+	t.Helper()
+	b, err := json.Marshal(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

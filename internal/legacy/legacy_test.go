@@ -1,0 +1,201 @@
+package legacy
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"enclaves/internal/crypto"
+	"enclaves/internal/transport"
+)
+
+const leaderName = "leader"
+
+func testLeader(t *testing.T, rekeyOnLeave bool, users ...string) (*Leader, *transport.MemNetwork) {
+	t.Helper()
+	keys := make(map[string]crypto.Key, len(users))
+	for _, u := range users {
+		keys[u] = crypto.DeriveKey(u, leaderName, u+"-pw")
+	}
+	g, err := NewLeader(LeaderConfig{Name: leaderName, Users: keys, RekeyOnLeave: rekeyOnLeave})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewMemNetwork()
+	t.Cleanup(net.Close)
+	l, err := net.Listen(leaderName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go g.Serve(l)
+	t.Cleanup(func() {
+		g.Close()
+		l.Close()
+	})
+	return g, net
+}
+
+func joinLegacy(t *testing.T, net *transport.MemNetwork, user string) *Member {
+	t.Helper()
+	conn, err := net.Dial(leaderName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Join(conn, user, leaderName, crypto.DeriveKey(user, leaderName, user+"-pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestLegacyJoinDistributesGroupKeyInAuth(t *testing.T) {
+	g, net := testLeader(t, true, "alice")
+	alice := joinLegacy(t, net, "alice")
+	defer alice.Leave()
+
+	// In the legacy protocol the group key arrives inside auth message 2:
+	// the member holds it immediately, no separate admin round.
+	gk, epoch := g.GroupKey()
+	mk, mepoch := alice.GroupKey()
+	if !gk.Equal(mk) || epoch != mepoch {
+		t.Errorf("group keys disagree after join: epoch %d vs %d", epoch, mepoch)
+	}
+	waitFor(t, "leader registers alice", func() bool { return len(g.Members()) == 1 })
+}
+
+func TestLegacyRelay(t *testing.T) {
+	g, net := testLeader(t, false, "alice", "bob")
+	alice := joinLegacy(t, net, "alice")
+	defer alice.Leave()
+	bob := joinLegacy(t, net, "bob")
+	defer bob.Leave()
+	waitFor(t, "both registered", func() bool { return len(g.Members()) == 2 })
+
+	if err := alice.SendData([]byte("hey")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("bob never got the data")
+		default:
+		}
+		ev, ok := bob.TryNext()
+		if !ok {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if ev.Kind == EventData {
+			if string(ev.Data) != "hey" || ev.From != "alice" {
+				t.Errorf("event = %+v", ev)
+			}
+			return
+		}
+	}
+}
+
+func TestLegacyRekeyPropagates(t *testing.T) {
+	g, net := testLeader(t, false, "alice")
+	alice := joinLegacy(t, net, "alice")
+	defer alice.Leave()
+	waitFor(t, "member registered", func() bool { return len(g.Members()) == 1 })
+
+	if err := g.Rekey(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "alice accepts epoch 2", func() bool { return alice.Epoch() == 2 })
+	if alice.AcceptedNewKeys() != 1 {
+		t.Errorf("accepted = %d", alice.AcceptedNewKeys())
+	}
+}
+
+func TestLegacyLeaveAnnounced(t *testing.T) {
+	g, net := testLeader(t, true, "alice", "bob")
+	alice := joinLegacy(t, net, "alice")
+	bob := joinLegacy(t, net, "bob")
+	defer bob.Leave()
+	waitFor(t, "two members", func() bool { return len(g.Members()) == 2 })
+	waitFor(t, "bob sees alice", func() bool {
+		for _, u := range bob.Members() {
+			if u == "alice" {
+				return true
+			}
+		}
+		// Drain events so the view updates flow.
+		for {
+			if _, ok := bob.TryNext(); !ok {
+				break
+			}
+		}
+		return false
+	})
+
+	epochBefore := g.Epoch()
+	if err := alice.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "leader drops alice", func() bool { return len(g.Members()) == 1 })
+	waitFor(t, "rekey on leave", func() bool { return g.Epoch() > epochBefore })
+}
+
+func TestLegacyExpel(t *testing.T) {
+	g, net := testLeader(t, true, "alice", "bob")
+	alice := joinLegacy(t, net, "alice")
+	defer alice.Leave()
+	bob := joinLegacy(t, net, "bob")
+	waitFor(t, "two members", func() bool { return len(g.Members()) == 2 })
+
+	if err := g.Expel("bob"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "bob gone", func() bool { return len(g.Members()) == 1 })
+	if err := g.Expel("bob"); err == nil {
+		t.Error("double expel succeeded")
+	}
+	_ = bob
+}
+
+func TestLegacyUnknownUserDenied(t *testing.T) {
+	_, net := testLeader(t, true, "alice")
+	conn, err := net.Dial(leaderName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Join(conn, "mallory", leaderName, crypto.DeriveKey("mallory", leaderName, "x"))
+	if !errors.Is(err, ErrDenied) {
+		t.Errorf("err = %v, want ErrDenied", err)
+	}
+}
+
+func TestLegacyWrongPasswordFails(t *testing.T) {
+	_, net := testLeader(t, true, "alice")
+	conn, err := net.Dial(leaderName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Join(conn, "alice", leaderName, crypto.DeriveKey("alice", leaderName, "bad")); err == nil {
+		t.Error("wrong password joined")
+	}
+}
+
+func TestNewLeaderValidation(t *testing.T) {
+	if _, err := NewLeader(LeaderConfig{}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewLeader(LeaderConfig{Name: "l", Users: map[string]crypto.Key{"x": {}}}); err == nil {
+		t.Error("invalid user key accepted")
+	}
+}

@@ -1,0 +1,348 @@
+package legacy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"enclaves/internal/crypto"
+	"enclaves/internal/queue"
+	"enclaves/internal/transport"
+	"enclaves/internal/wire"
+)
+
+// ErrDenied is returned by Join when a connection_denied arrives — genuine
+// or forged; the legacy member cannot tell (attack A1).
+var ErrDenied = errors.New("legacy: connection denied")
+
+// ErrLeft is returned by operations after Leave.
+var ErrLeft = errors.New("legacy: session left")
+
+// EventKind classifies legacy member events.
+type EventKind uint8
+
+// Legacy event kinds.
+const (
+	EventJoined EventKind = iota + 1
+	EventLeft
+	EventRekey
+	EventData
+	EventClosed
+)
+
+// Event is one notification from a legacy member session.
+type Event struct {
+	Kind  EventKind
+	Name  string
+	Epoch uint64
+	From  string
+	Data  []byte
+	Err   error
+}
+
+// Member is a connected legacy group member. It deliberately reproduces the
+// vulnerable acceptance rules of Section 2.2.
+type Member struct {
+	name   string
+	leader string
+	conn   transport.Conn
+
+	mu         sync.Mutex
+	sessionKey crypto.Key
+	groupKey   crypto.Key
+	epoch      uint64
+	maxEpoch   uint64
+	view       map[string]bool
+	left       bool
+
+	events *queue.Queue[Event]
+	done   chan struct{}
+
+	accepted atomic.Uint64 // accepted new_key messages (incl. replays!)
+}
+
+// Join runs the legacy pre-auth and authentication exchanges.
+func Join(conn transport.Conn, user, leader string, longTerm crypto.Key) (*Member, error) {
+	// 1. A -> L: A, req_open.
+	req := wire.Envelope{Type: wire.TypeReqOpen, Sender: user, Receiver: leader,
+		Payload: wire.LegacyOpenPayload{From: user}.Marshal()}
+	if err := conn.Send(req); err != nil {
+		return nil, fmt.Errorf("legacy: send req_open: %w", err)
+	}
+	// 2. L -> A: ack_open or connection_denied. Both plaintext: the member
+	// trusts whichever arrives first. THIS IS THE DOS WEAKNESS.
+	env, err := conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("legacy: wait open ack: %w", err)
+	}
+	switch env.Type {
+	case wire.TypeAckOpen:
+	case wire.TypeConnDenied:
+		return nil, ErrDenied
+	default:
+		return nil, fmt.Errorf("legacy: unexpected %s during pre-auth", env.Type)
+	}
+
+	// 1. A -> L: {A, L, N1}_Pa.
+	n1, err := crypto.NewNonce()
+	if err != nil {
+		return nil, err
+	}
+	a1env := wire.Envelope{Type: wire.TypeLegacyAuth1, Sender: user, Receiver: leader}
+	a1 := wire.AuthInitPayload{User: user, Leader: leader, N1: n1}
+	box, err := crypto.Seal(longTerm, a1.Marshal(), a1env.Header())
+	if err != nil {
+		return nil, err
+	}
+	a1env.Payload = box
+	if err := conn.Send(a1env); err != nil {
+		return nil, err
+	}
+
+	// 2. L -> A: {L, A, N1, N2, Ka, IV, Kg}_Pa.
+	env, err = conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("legacy: wait auth2: %w", err)
+	}
+	if env.Type != wire.TypeLegacyAuth2 {
+		return nil, fmt.Errorf("legacy: expected auth2, got %s", env.Type)
+	}
+	plain, err := crypto.Open(longTerm, env.Payload, env.Header())
+	if err != nil {
+		return nil, fmt.Errorf("legacy: auth2: %w", err)
+	}
+	a2, err := wire.UnmarshalLegacyAuth2(plain)
+	if err != nil {
+		return nil, err
+	}
+	if a2.Leader != leader || a2.User != user || !a2.N1.Equal(n1) {
+		return nil, errors.New("legacy: auth2 identity/nonce mismatch")
+	}
+
+	// 3. A -> L: {N2}_Ka.
+	a3env := wire.Envelope{Type: wire.TypeLegacyAuth3, Sender: user, Receiver: leader}
+	a3 := wire.LegacyAuth3Payload{N2: a2.N2}
+	box, err = crypto.Seal(a2.SessionKey, a3.Marshal(), a3env.Header())
+	if err != nil {
+		return nil, err
+	}
+	a3env.Payload = box
+	if err := conn.Send(a3env); err != nil {
+		return nil, err
+	}
+
+	m := &Member{
+		name:       user,
+		leader:     leader,
+		conn:       conn,
+		sessionKey: a2.SessionKey,
+		groupKey:   a2.GroupKey,
+		epoch:      a2.GroupEpoch,
+		maxEpoch:   a2.GroupEpoch,
+		view:       map[string]bool{user: true},
+		events:     queue.New[Event](),
+		done:       make(chan struct{}),
+	}
+	go m.recvLoop()
+	return m, nil
+}
+
+// Name returns this member's identity.
+func (m *Member) Name() string { return m.name }
+
+// Members returns this member's (spoofable) view of the group, sorted.
+func (m *Member) Members() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.view))
+	for u := range m.view {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Epoch returns the epoch of the group key the member currently uses. It
+// can move BACKWARDS under the replay attack.
+func (m *Member) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// MaxEpoch returns the highest epoch ever accepted — comparing it with
+// Epoch exposes a successful rollback.
+func (m *Member) MaxEpoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.maxEpoch
+}
+
+// GroupKey returns the current group key and its epoch.
+func (m *Member) GroupKey() (crypto.Key, uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.groupKey, m.epoch
+}
+
+// AcceptedNewKeys counts accepted new_key messages, replays included.
+func (m *Member) AcceptedNewKeys() uint64 { return m.accepted.Load() }
+
+// Next blocks for the next event.
+func (m *Member) Next() (Event, error) {
+	ev, err := m.events.Pop()
+	if err != nil {
+		return Event{Kind: EventClosed}, ErrLeft
+	}
+	return ev, nil
+}
+
+// TryNext returns the next event without blocking.
+func (m *Member) TryNext() (Event, bool) {
+	return m.events.TryPop()
+}
+
+// SendData multicasts application data under the current group key.
+func (m *Member) SendData(data []byte) error {
+	m.mu.Lock()
+	key, epoch, left := m.groupKey, m.epoch, m.left
+	m.mu.Unlock()
+	if left {
+		return ErrLeft
+	}
+	env := wire.Envelope{Type: wire.TypeAppData, Sender: m.name, Receiver: m.leader}
+	p := wire.AppDataPayload{Sender: m.name, Epoch: epoch, Data: data}
+	box, err := crypto.Seal(key, p.Marshal(), env.Header())
+	if err != nil {
+		return err
+	}
+	env.Payload = box
+	return m.conn.Send(env)
+}
+
+// Leave sends the PLAINTEXT req_close of Section 2.2 and disconnects.
+func (m *Member) Leave() error {
+	m.mu.Lock()
+	if m.left {
+		m.mu.Unlock()
+		return ErrLeft
+	}
+	m.left = true
+	m.mu.Unlock()
+	env := wire.Envelope{Type: wire.TypeLegacyReqClose, Sender: m.name, Receiver: m.leader,
+		Payload: wire.LegacyOpenPayload{From: m.name}.Marshal()}
+	err := m.conn.Send(env)
+	m.conn.Close()
+	<-m.done
+	return err
+}
+
+func (m *Member) recvLoop() {
+	defer close(m.done)
+	for {
+		env, err := m.conn.Recv()
+		if err != nil {
+			m.mu.Lock()
+			left := m.left
+			m.mu.Unlock()
+			if left {
+				err = nil
+			}
+			m.events.Push(Event{Kind: EventClosed, Err: err})
+			m.events.Close()
+			return
+		}
+		m.handle(env)
+	}
+}
+
+func (m *Member) handle(env wire.Envelope) {
+	switch env.Type {
+	case wire.TypeNewKey:
+		m.handleNewKey(env)
+	case wire.TypeMemAdded, wire.TypeMemRemoved:
+		m.handleMembership(env)
+	case wire.TypeAppData:
+		m.handleAppData(env)
+	case wire.TypeCloseConn:
+		// Leader confirmed our close; the loop ends when the conn drops.
+	}
+}
+
+// handleNewKey accepts ANY well-formed {K'g, IV}_Ka — no freshness check,
+// no epoch comparison. A replayed old new_key therefore reinstalls an old,
+// possibly compromised group key (attack A3).
+func (m *Member) handleNewKey(env wire.Envelope) {
+	m.mu.Lock()
+	plain, err := crypto.Open(m.sessionKey, env.Payload, env.Header())
+	if err != nil {
+		m.mu.Unlock()
+		return
+	}
+	p, err := wire.UnmarshalLegacyNewKey(plain)
+	if err != nil {
+		m.mu.Unlock()
+		return
+	}
+	m.groupKey = p.GroupKey
+	m.epoch = p.GroupEpoch
+	if p.GroupEpoch > m.maxEpoch {
+		m.maxEpoch = p.GroupEpoch
+	}
+	key := p.GroupKey
+	m.mu.Unlock()
+	m.accepted.Add(1)
+
+	// new_key_ack: {K'g}_{K'g} as in Section 2.2.
+	ack := wire.Envelope{Type: wire.TypeNewKeyAck, Sender: m.name, Receiver: m.leader}
+	box, err := crypto.Seal(key, key.Bytes(), ack.Header())
+	if err == nil {
+		ack.Payload = box
+		_ = m.conn.Send(ack)
+	}
+	m.events.Push(Event{Kind: EventRekey, Epoch: p.GroupEpoch})
+}
+
+// handleMembership believes any mem_added/mem_removed under the CURRENT
+// group key — which every member shares, so insiders can forge membership
+// changes (attack A2).
+func (m *Member) handleMembership(env wire.Envelope) {
+	m.mu.Lock()
+	plain, err := crypto.Open(m.groupKey, env.Payload, env.Header())
+	if err != nil {
+		m.mu.Unlock()
+		return
+	}
+	p, err := wire.UnmarshalLegacyMember(plain)
+	if err != nil {
+		m.mu.Unlock()
+		return
+	}
+	var ev Event
+	if env.Type == wire.TypeMemAdded {
+		m.view[p.Name] = true
+		ev = Event{Kind: EventJoined, Name: p.Name}
+	} else {
+		delete(m.view, p.Name)
+		ev = Event{Kind: EventLeft, Name: p.Name}
+	}
+	m.mu.Unlock()
+	m.events.Push(ev)
+}
+
+func (m *Member) handleAppData(env wire.Envelope) {
+	m.mu.Lock()
+	key := m.groupKey
+	m.mu.Unlock()
+	plain, err := crypto.Open(key, env.Payload, env.Header())
+	if err != nil {
+		return
+	}
+	p, err := wire.UnmarshalAppData(plain)
+	if err != nil {
+		return
+	}
+	m.events.Push(Event{Kind: EventData, From: p.Sender, Epoch: p.Epoch, Data: p.Data})
+}

@@ -1,0 +1,405 @@
+// Package member implements the user side of an Enclaves application
+// (Figure 1): it joins a group through the improved authentication protocol
+// (via core.MemberSession), maintains the member's view of the group —
+// membership and current group key — from the verified stream of
+// group-management messages, and sends and receives application multicast
+// encrypted under the group key.
+//
+// Because the AdminMsg pipeline is proven to deliver group-management
+// messages in order, without duplication, and only from the leader
+// (Section 5.4), the view maintained here is exactly the leader's history:
+// a compromised member or outsider cannot make this member believe a key or
+// membership change the leader did not issue.
+package member
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"enclaves/internal/core"
+	"enclaves/internal/crypto"
+	"enclaves/internal/queue"
+	"enclaves/internal/transport"
+	"enclaves/internal/wire"
+)
+
+// EventKind classifies events delivered to the application.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EventJoined: a member joined the group.
+	EventJoined EventKind = iota + 1
+	// EventLeft: a member left or was expelled.
+	EventLeft
+	// EventRekey: the leader distributed a new group key.
+	EventRekey
+	// EventData: application data from another member.
+	EventData
+	// EventClosed: the session ended; Err carries the cause (nil after a
+	// voluntary Leave).
+	EventClosed
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventJoined:
+		return "Joined"
+	case EventLeft:
+		return "Left"
+	case EventRekey:
+		return "Rekey"
+	case EventData:
+		return "Data"
+	case EventClosed:
+		return "Closed"
+	default:
+		return "invalid"
+	}
+}
+
+// Event is one notification to the application.
+type Event struct {
+	Kind  EventKind
+	Name  string // member name for Joined/Left
+	Epoch uint64 // group-key epoch for Rekey and Data
+	From  string // sender for Data
+	Data  []byte // payload for Data
+	Err   error  // cause for Closed
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EventJoined:
+		return "Joined(" + e.Name + ")"
+	case EventLeft:
+		return "Left(" + e.Name + ")"
+	case EventRekey:
+		return fmt.Sprintf("Rekey(epoch=%d)", e.Epoch)
+	case EventData:
+		return fmt.Sprintf("Data(from=%s, %dB)", e.From, len(e.Data))
+	case EventClosed:
+		return fmt.Sprintf("Closed(err=%v)", e.Err)
+	default:
+		return "Event(?)"
+	}
+}
+
+// ErrNoGroupKey is returned by SendData before the first group key arrives.
+var ErrNoGroupKey = errors.New("member: no group key yet")
+
+// ErrLeft is returned by operations after Leave.
+var ErrLeft = errors.New("member: session left")
+
+// Member is a connected group member.
+type Member struct {
+	name   string
+	leader string
+	conn   transport.Conn
+	engine *core.MemberSession
+
+	mu       sync.Mutex
+	groupKey crypto.Key
+	epoch    uint64
+	// prevKey/prevEpoch retain the immediately superseded group key for
+	// one epoch, so multicast that was in flight across a rekey still
+	// decrypts. Anything older is rejected: the forward-secrecy boundary
+	// for departed members is one rekey behind the leader's, a documented
+	// trade (a member expelled at epoch n reads nothing from epoch n+2 on,
+	// and in the default on-leave policy its last key dies immediately
+	// after the NEXT membership change).
+	prevKey   crypto.Key
+	prevEpoch uint64
+	view      map[string]bool
+	left      bool
+
+	events *queue.Queue[Event]
+	done   chan struct{}
+
+	rejected atomic.Uint64 // frames rejected by the engine or epoch checks
+}
+
+// Join connects as user to the leader over conn, runs the three-message
+// authentication, and starts the receive loop. The long-term key is the
+// P_user shared with the leader (crypto.DeriveKey).
+func Join(conn transport.Conn, user, leader string, longTerm crypto.Key) (*Member, error) {
+	engine, err := core.NewMemberSession(user, leader, longTerm)
+	if err != nil {
+		return nil, err
+	}
+	initReq, err := engine.Start()
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Send(initReq); err != nil {
+		return nil, fmt.Errorf("member: send join: %w", err)
+	}
+	// Wait for the key distribution; a hostile network may interleave
+	// junk, which the engine rejects without state change.
+	for engine.Phase() != core.MemberConnected {
+		env, err := conn.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("member: join: %w", err)
+		}
+		ev, err := engine.Handle(env)
+		if err != nil {
+			continue // rejected frame; keep waiting for the genuine one
+		}
+		if ev.Reply != nil {
+			if err := conn.Send(*ev.Reply); err != nil {
+				return nil, fmt.Errorf("member: send key ack: %w", err)
+			}
+		}
+	}
+
+	m := &Member{
+		name:   user,
+		leader: leader,
+		conn:   conn,
+		engine: engine,
+		view:   map[string]bool{user: true},
+		events: queue.New[Event](),
+		done:   make(chan struct{}),
+	}
+	go m.recvLoop()
+	return m, nil
+}
+
+// Name returns this member's identity.
+func (m *Member) Name() string { return m.name }
+
+// Leader returns the leader's identity.
+func (m *Member) Leader() string { return m.leader }
+
+// Members returns this member's current view of the group, sorted.
+func (m *Member) Members() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.view))
+	for u := range m.view {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Epoch returns the current group-key epoch (0 until the first key
+// arrives).
+func (m *Member) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// GroupKey returns the current group key and epoch. Exposed for tests and
+// attack scenarios.
+func (m *Member) GroupKey() (crypto.Key, uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.groupKey, m.epoch
+}
+
+// WaitReady blocks until the leader's first group key has arrived (the
+// session is then fully usable for SendData), the session closes, or the
+// timeout expires. The improved protocol distributes the group key in a
+// group-management message AFTER authentication (Section 3.2 removed K_g
+// from the handshake), so there is a short window where a freshly joined
+// member cannot encrypt yet.
+func (m *Member) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		m.mu.Lock()
+		ready, left := m.groupKey.Valid(), m.left
+		m.mu.Unlock()
+		if ready {
+			return nil
+		}
+		if left {
+			return ErrLeft
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return ErrNoGroupKey
+}
+
+// Rejected returns how many frames were rejected as replays, forgeries, or
+// stale-epoch traffic — the observable footprint of tolerated intrusion
+// attempts.
+func (m *Member) Rejected() uint64 { return m.rejected.Load() }
+
+// Next blocks until the next event (or EventClosed).
+func (m *Member) Next() (Event, error) {
+	ev, err := m.events.Pop()
+	if err != nil {
+		return Event{Kind: EventClosed}, ErrLeft
+	}
+	return ev, nil
+}
+
+// TryNext returns the next event without blocking.
+func (m *Member) TryNext() (Event, bool) {
+	return m.events.TryPop()
+}
+
+// SendData multicasts application data to the group, encrypted under the
+// current group key.
+func (m *Member) SendData(data []byte) error {
+	m.mu.Lock()
+	key, epoch, left := m.groupKey, m.epoch, m.left
+	m.mu.Unlock()
+	if left {
+		return ErrLeft
+	}
+	if !key.Valid() {
+		return ErrNoGroupKey
+	}
+	env := wire.Envelope{Type: wire.TypeAppData, Sender: m.name, Receiver: m.leader}
+	payload := wire.AppDataPayload{Sender: m.name, Epoch: epoch, Data: data}
+	box, err := crypto.Seal(key, payload.Marshal(), env.Header())
+	if err != nil {
+		return err
+	}
+	env.Payload = box
+	return m.conn.Send(env)
+}
+
+// Leave ends the session with the unreplayable ReqClose and closes the
+// connection.
+func (m *Member) Leave() error {
+	m.mu.Lock()
+	if m.left {
+		m.mu.Unlock()
+		return ErrLeft
+	}
+	m.left = true
+	m.mu.Unlock()
+
+	closeEnv, err := m.engineLeave()
+	if err == nil {
+		err = m.conn.Send(closeEnv)
+	}
+	m.conn.Close()
+	<-m.done
+	return err
+}
+
+// engineLeave serializes access to the engine against the receive loop.
+func (m *Member) engineLeave() (wire.Envelope, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.engine.Leave()
+}
+
+// recvLoop drives the engine with incoming frames until the connection
+// drops.
+func (m *Member) recvLoop() {
+	defer close(m.done)
+	for {
+		env, err := m.conn.Recv()
+		if err != nil {
+			m.mu.Lock()
+			left := m.left
+			m.mu.Unlock()
+			if left {
+				err = nil
+			}
+			m.events.Push(Event{Kind: EventClosed, Err: err})
+			m.events.Close()
+			return
+		}
+		m.handle(env)
+	}
+}
+
+// handle processes one received frame.
+func (m *Member) handle(env wire.Envelope) {
+	switch env.Type {
+	case wire.TypeAdminMsg:
+		m.handleAdmin(env)
+	case wire.TypeAppData:
+		m.handleAppData(env)
+	default:
+		m.rejected.Add(1)
+	}
+}
+
+// handleAdmin feeds an AdminMsg to the engine, sends the acknowledgment,
+// and applies the body to the view.
+func (m *Member) handleAdmin(env wire.Envelope) {
+	m.mu.Lock()
+	ev, err := m.engine.Handle(env)
+	if err != nil {
+		m.mu.Unlock()
+		m.rejected.Add(1)
+		return
+	}
+	var out Event
+	switch body := ev.Admin.(type) {
+	case wire.NewGroupKey:
+		if m.groupKey.Valid() {
+			m.prevKey = m.groupKey
+			m.prevEpoch = m.epoch
+		}
+		m.groupKey = body.Key
+		m.epoch = body.Epoch
+		out = Event{Kind: EventRekey, Epoch: body.Epoch}
+	case wire.MemberJoined:
+		m.view[body.Name] = true
+		out = Event{Kind: EventJoined, Name: body.Name}
+	case wire.MemberLeft:
+		delete(m.view, body.Name)
+		out = Event{Kind: EventLeft, Name: body.Name}
+	case wire.MemberList:
+		m.view = make(map[string]bool, len(body.Names))
+		for _, n := range body.Names {
+			m.view[n] = true
+		}
+		out = Event{Kind: EventJoined, Name: m.name} // our own join completed
+	}
+	m.mu.Unlock()
+
+	if ev.Reply != nil {
+		if err := m.conn.Send(*ev.Reply); err != nil {
+			return
+		}
+	}
+	if out.Kind != 0 {
+		m.events.Push(out)
+	}
+}
+
+// handleAppData decrypts relayed application data under the current group
+// key; traffic under old epochs (e.g. replays predating a rekey) is
+// rejected.
+func (m *Member) handleAppData(env wire.Envelope) {
+	m.mu.Lock()
+	key, epoch := m.groupKey, m.epoch
+	prevKey, prevEpoch := m.prevKey, m.prevEpoch
+	m.mu.Unlock()
+	if !key.Valid() {
+		m.rejected.Add(1)
+		return
+	}
+	// Try the current key first, then the one-epoch grace key for traffic
+	// that was in flight across a rekey.
+	plain, err := crypto.Open(key, env.Payload, env.Header())
+	wantEpoch := epoch
+	if err != nil && prevKey.Valid() {
+		plain, err = crypto.Open(prevKey, env.Payload, env.Header())
+		wantEpoch = prevEpoch
+	}
+	if err != nil {
+		m.rejected.Add(1)
+		return
+	}
+	p, err := wire.UnmarshalAppData(plain)
+	if err != nil || p.Epoch != wantEpoch {
+		m.rejected.Add(1)
+		return
+	}
+	m.events.Push(Event{Kind: EventData, From: p.Sender, Epoch: p.Epoch, Data: p.Data})
+}

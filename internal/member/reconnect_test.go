@@ -1,0 +1,244 @@
+package member
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"enclaves/internal/crypto"
+	"enclaves/internal/group"
+	"enclaves/internal/transport"
+)
+
+// startLeader brings up a group leader on the in-memory network.
+func startLeader(t *testing.T, net *transport.MemNetwork, name string, users []string) *group.Leader {
+	t.Helper()
+	keys := make(map[string]crypto.Key, len(users))
+	for _, u := range users {
+		keys[u] = crypto.DeriveKey(u, name, u+"-pw")
+	}
+	g, err := group.NewLeader(group.Config{Name: name, Users: keys, Rekey: group.DefaultRekeyPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go g.Serve(l)
+	t.Cleanup(func() {
+		g.Close()
+		l.Close()
+	})
+	return g
+}
+
+func endpoint(net *transport.MemNetwork, leader, user string) Endpoint {
+	return Endpoint{
+		Leader:   leader,
+		LongTerm: crypto.DeriveKey(user, leader, user+"-pw"),
+		Dial:     func() (transport.Conn, error) { return net.Dial(leader) },
+	}
+}
+
+func waitSession(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestSessionJoinsAndSends(t *testing.T) {
+	net := transport.NewMemNetwork()
+	defer net.Close()
+	g := startLeader(t, net, "primary", []string{"alice", "bob"})
+
+	s, err := NewSession(SessionConfig{
+		User:      "alice",
+		Endpoints: []Endpoint{endpoint(net, "primary", "alice")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if !s.Up() {
+		t.Fatal("session not up after NewSession")
+	}
+	waitSession(t, "leader sees alice", func() bool { return len(g.Members()) == 1 })
+	if err := s.SendData([]byte("hi")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if s.Epoch() == 0 {
+		t.Error("session has no epoch despite WaitReady")
+	}
+}
+
+func TestSessionFailsOverToStandby(t *testing.T) {
+	net := transport.NewMemNetwork()
+	defer net.Close()
+
+	// A dedicated listener handle for the primary so we can crash it.
+	primaryKeys := map[string]crypto.Key{"alice": crypto.DeriveKey("alice", "primary", "alice-pw")}
+	primary, err := group.NewLeader(group.Config{Name: "primary", Users: primaryKeys, Rekey: group.DefaultRekeyPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := net.Listen("primary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go primary.Serve(pl)
+
+	standby := startLeader(t, net, "standby", []string{"alice"})
+
+	s, err := NewSession(SessionConfig{
+		User: "alice",
+		Endpoints: []Endpoint{
+			endpoint(net, "primary", "alice"),
+			endpoint(net, "standby", "alice"),
+		},
+		Backoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	waitSession(t, "joined primary", func() bool { return len(primary.Members()) == 1 })
+
+	// Crash the primary: the session must rejoin via the standby.
+	pl.Close()
+	primary.Close()
+	waitSession(t, "failed over to standby", func() bool { return len(standby.Members()) == 1 })
+	waitSession(t, "session back up", func() bool { return s.Up() && s.Epoch() > 0 })
+
+	if err := s.SendData([]byte("post failover")); err != nil {
+		t.Fatalf("send after failover: %v", err)
+	}
+
+	// The unified event stream saw two of our own joins.
+	joins := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for joins < 2 && time.Now().Before(deadline) {
+		ev, ok := s.TryNext()
+		if !ok {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if ev.Kind == EventJoined && ev.Name == "alice" {
+			joins++
+		}
+	}
+	if joins < 2 {
+		t.Errorf("saw %d self-joins, want 2", joins)
+	}
+}
+
+func TestSessionGivesUpAfterMaxRounds(t *testing.T) {
+	net := transport.NewMemNetwork()
+	defer net.Close()
+	primaryKeys := map[string]crypto.Key{"alice": crypto.DeriveKey("alice", "primary", "alice-pw")}
+	primary, err := group.NewLeader(group.Config{Name: "primary", Users: primaryKeys, Rekey: group.DefaultRekeyPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := net.Listen("primary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go primary.Serve(pl)
+
+	s, err := NewSession(SessionConfig{
+		User:      "alice",
+		Endpoints: []Endpoint{endpoint(net, "primary", "alice")},
+		Backoff:   time.Millisecond,
+		MaxRounds: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash the only endpoint for good.
+	pl.Close()
+	primary.Close()
+
+	deadline := time.After(10 * time.Second)
+	for {
+		var ev Event
+		var ok bool
+		select {
+		case <-deadline:
+			t.Fatal("session never gave up")
+		default:
+			ev, ok = s.TryNext()
+		}
+		if !ok {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if ev.Kind == EventClosed {
+			if !errors.Is(ev.Err, ErrGaveUp) {
+				t.Errorf("closed with %v, want ErrGaveUp", ev.Err)
+			}
+			break
+		}
+	}
+	if s.Up() {
+		t.Error("session still up after giving up")
+	}
+	if err := s.SendData([]byte("x")); !errors.Is(err, ErrDown) {
+		t.Errorf("send while down: %v", err)
+	}
+}
+
+func TestSessionVoluntaryClose(t *testing.T) {
+	net := transport.NewMemNetwork()
+	defer net.Close()
+	g := startLeader(t, net, "primary", []string{"alice"})
+
+	s, err := NewSession(SessionConfig{
+		User:      "alice",
+		Endpoints: []Endpoint{endpoint(net, "primary", "alice")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSession(t, "joined", func() bool { return len(g.Members()) == 1 })
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	waitSession(t, "left at leader", func() bool { return len(g.Members()) == 0 })
+
+	// No rejoin happens after a voluntary close.
+	time.Sleep(20 * time.Millisecond)
+	if len(g.Members()) != 0 {
+		t.Error("session rejoined after voluntary close")
+	}
+	if err := s.Close(); !errors.Is(err, ErrLeft) {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestSessionConfigValidation(t *testing.T) {
+	if _, err := NewSession(SessionConfig{User: "", Endpoints: []Endpoint{{}}}); err == nil {
+		t.Error("empty user accepted")
+	}
+	if _, err := NewSession(SessionConfig{User: "alice"}); err == nil {
+		t.Error("no endpoints accepted")
+	}
+	// Unreachable endpoint fails the initial join.
+	net := transport.NewMemNetwork()
+	defer net.Close()
+	_, err := NewSession(SessionConfig{
+		User:      "alice",
+		Endpoints: []Endpoint{endpoint(net, "nowhere", "alice")},
+	})
+	if err == nil {
+		t.Error("unreachable endpoint accepted")
+	}
+}

@@ -1,0 +1,468 @@
+package model
+
+import (
+	"fmt"
+
+	"enclaves/internal/symbolic"
+)
+
+// Step is one transition of the global model: an agent (A, L, or the
+// intruder E) fires, possibly consuming a message from the trace and
+// possibly adding one (constraint (1) of Section 4.2). Pure receive
+// transitions (e.g. L accepting an Ack) add nothing.
+type Step struct {
+	Actor    string          // AgentUser, AgentLeader, or AgentIntruder
+	Action   string          // human-readable description for counterexamples
+	Consumed *symbolic.Field // content consumed by a receive guard, or nil
+	Emitted  *Msg            // message added to the trace, or nil
+	Next     *State
+}
+
+func (st Step) String() string {
+	s := st.Actor + ": " + st.Action
+	if st.Consumed != nil {
+		s += fmt.Sprintf(" [consumes %s]", st.Consumed)
+	}
+	if st.Emitted != nil {
+		s += fmt.Sprintf(" [emits %s]", st.Emitted)
+	}
+	return s
+}
+
+// System is the improved-protocol model of Section 4: the asynchronous
+// composition of the honest user A (Figure 2), the leader L (Figure 3), and
+// the Dolev-Yao intruder, bounded by cfg.
+type System struct {
+	cfg Config
+	pa  *symbolic.Field // A's long-term key P_a
+	a   *symbolic.Field
+	l   *symbolic.Field
+}
+
+// NewSystem returns the improved-protocol model bounded by cfg.
+func NewSystem(cfg Config) *System {
+	return &System{
+		cfg: cfg,
+		pa:  symbolic.LongTermKey(AgentUser),
+		a:   symbolic.Agent(AgentUser),
+		l:   symbolic.Agent(AgentLeader),
+	}
+}
+
+// Config returns the exploration bounds.
+func (sys *System) Config() Config { return sys.cfg }
+
+// LongTermKey returns P_a, the long-term key shared by A and L.
+func (sys *System) LongTermKey() *symbolic.Field { return sys.pa }
+
+// Initial returns the initial global state q0.
+func (sys *System) Initial() *State { return NewInitialState() }
+
+// Successors enumerates every enabled transition from s: the spontaneous and
+// message-triggered moves of A and L, and the intruder injections that could
+// trigger an honest guard. Injecting messages no honest guard can consume is
+// sound to omit for safety checking: such messages are already in Synth(IK)
+// and remain available later (knowledge is monotone), and the secrecy
+// invariants are checked symbolically against IK itself.
+func (sys *System) Successors(s *State) []Step {
+	var steps []Step
+	steps = append(steps, sys.userSteps(s)...)
+	steps = append(steps, sys.leaderSteps(s)...)
+	steps = append(steps, sys.eSteps(s)...)
+	steps = append(steps, sys.intruderSteps(s)...)
+	return steps
+}
+
+// --- honest user A (Figure 2) ---
+
+func (sys *System) userSteps(s *State) []Step {
+	var steps []Step
+	switch s.Usr.Phase {
+	case UserNotConnected:
+		if s.Sessions < sys.cfg.MaxSessions {
+			steps = append(steps, sys.userJoin(s))
+		}
+	case UserWaitingForKey:
+		steps = append(steps, sys.userRecvKeyDist(s)...)
+	case UserConnected:
+		steps = append(steps, sys.userRecvAdmin(s)...)
+		steps = append(steps, sys.userLeave(s))
+	}
+	return steps
+}
+
+// userJoin: NotConnected -> WaitingForKey(Na); A sends
+// AuthInitReq, A, L, {A, L, Na}_Pa with fresh Na.
+func (sys *System) userJoin(s *State) Step {
+	n := s.Clone()
+	na := n.freshNonce()
+	m := Msg{
+		Label:    LabelAuthInitReq,
+		Sender:   AgentUser,
+		Receiver: AgentLeader,
+		Content:  symbolic.Enc(symbolic.Tuple(sys.a, sys.l, na), sys.pa),
+	}
+	n.record(m)
+	n.Usr = UserState{Phase: UserWaitingForKey, Na: na}
+	n.Sessions++
+	n.ReqA++
+	return Step{Actor: AgentUser, Action: "join: send AuthInitReq", Emitted: &m, Next: n}
+}
+
+// userRecvKeyDist: WaitingForKey(Na) -> Connected(Na', K) on reception of
+// a content {L, A, Na, N, K}_Pa; A replies AuthAckKey with {A, L, N, Na'}_K
+// where Na' is fresh.
+func (sys *System) userRecvKeyDist(s *State) []Step {
+	var steps []Step
+	for _, c := range netEncs(s, sys.pa, 5) {
+		comps := c.Body().Components()
+		if !comps[0].Equal(sys.l) || !comps[1].Equal(sys.a) || !comps[2].Equal(s.Usr.Na) {
+			continue
+		}
+		nl, ka := comps[3], comps[4]
+		if nl.Kind() != symbolic.KindNonce || ka.Kind() != symbolic.KindKey {
+			continue
+		}
+		n := s.Clone()
+		na2 := n.freshNonce()
+		m := Msg{
+			Label:    LabelAuthAckKey,
+			Sender:   AgentUser,
+			Receiver: AgentLeader,
+			Content:  symbolic.Enc(symbolic.Tuple(sys.a, sys.l, nl, na2), ka),
+		}
+		n.record(m)
+		n.Usr = UserState{Phase: UserConnected, Na: na2, Ka: ka}
+		steps = append(steps, Step{
+			Actor: AgentUser, Action: "accept AuthKeyDist, send AuthAckKey",
+			Consumed: c, Emitted: &m, Next: n,
+		})
+	}
+	return steps
+}
+
+// userRecvAdmin: Connected(Na, Ka) -> Connected(Na', Ka) on reception of a
+// content {L, A, Na, N, X}_Ka; A appends X to rcv_A and replies Ack with
+// {A, L, N, Na'}_Ka, Na' fresh.
+func (sys *System) userRecvAdmin(s *State) []Step {
+	var steps []Step
+	// Bound the acceptances so broken variants (WeakAdminFreshness) keep a
+	// finite state space: two acceptances beyond the leader's own bound
+	// are enough to exhibit any duplication or reordering violation. The
+	// faithful protocol never reaches this cap (rcv_A ≤ snd_A ≤ MaxAdmin).
+	if len(s.RcvA) >= sys.cfg.MaxAdmin+2 {
+		return nil
+	}
+	for _, c := range netEncs(s, s.Usr.Ka, 5) {
+		comps := c.Body().Components()
+		if !comps[0].Equal(sys.l) || !comps[1].Equal(sys.a) {
+			continue
+		}
+		// The freshness guard that defeats replays. The WeakAdminFreshness
+		// mutation drops it, and the checker's sensitivity tests prove the
+		// prefix property collapses without it.
+		if !sys.cfg.WeakAdminFreshness && !comps[2].Equal(s.Usr.Na) {
+			continue
+		}
+		nl, x := comps[3], comps[4]
+		if nl.Kind() != symbolic.KindNonce || x.Kind() != symbolic.KindData {
+			continue
+		}
+		n := s.Clone()
+		na2 := n.freshNonce()
+		m := Msg{
+			Label:    LabelAck,
+			Sender:   AgentUser,
+			Receiver: AgentLeader,
+			Content:  symbolic.Enc(symbolic.Tuple(sys.a, sys.l, nl, na2), s.Usr.Ka),
+		}
+		n.record(m)
+		n.RcvA = append(n.RcvA, x)
+		n.Usr = UserState{Phase: UserConnected, Na: na2, Ka: s.Usr.Ka}
+		steps = append(steps, Step{
+			Actor: AgentUser, Action: fmt.Sprintf("accept AdminMsg %s, send Ack", x),
+			Consumed: c, Emitted: &m, Next: n,
+		})
+	}
+	return steps
+}
+
+// userLeave: Connected(Na, Ka) -> NotConnected; A sends
+// ReqClose, A, L, {A, L}_Ka and empties rcv_A.
+func (sys *System) userLeave(s *State) Step {
+	n := s.Clone()
+	m := Msg{
+		Label:    LabelReqClose,
+		Sender:   AgentUser,
+		Receiver: AgentLeader,
+		Content:  symbolic.Enc(symbolic.Pair(sys.a, sys.l), s.Usr.Ka),
+	}
+	n.record(m)
+	n.Usr = UserState{Phase: UserNotConnected}
+	n.RcvA = nil
+	return Step{Actor: AgentUser, Action: "leave: send ReqClose", Emitted: &m, Next: n}
+}
+
+// --- leader L (Figure 3) ---
+
+func (sys *System) leaderSteps(s *State) []Step {
+	var steps []Step
+	switch s.Lead.Phase {
+	case LeadNotConnected:
+		steps = append(steps, sys.leaderRecvInitReq(s)...)
+	case LeadWaitingForKeyAck:
+		steps = append(steps, sys.leaderRecvKeyAck(s)...)
+	case LeadConnected:
+		if s.AdminSent < sys.cfg.MaxAdmin {
+			steps = append(steps, sys.leaderSendAdmin(s))
+		}
+	case LeadWaitingForAck:
+		steps = append(steps, sys.leaderRecvAck(s)...)
+	}
+	if s.Lead.Phase != LeadNotConnected {
+		steps = append(steps, sys.leaderRecvReqClose(s)...)
+	}
+	return steps
+}
+
+// leaderRecvInitReq: NotConnected -> WaitingForKeyAck(Nl, Ka) on reception
+// of {A, L, N}_Pa; L generates fresh Nl and Ka and replies AuthKeyDist with
+// {L, A, N, Nl, Ka}_Pa.
+func (sys *System) leaderRecvInitReq(s *State) []Step {
+	var steps []Step
+	for _, c := range netEncs(s, sys.pa, 3) {
+		comps := c.Body().Components()
+		if !comps[0].Equal(sys.a) || !comps[1].Equal(sys.l) || comps[2].Kind() != symbolic.KindNonce {
+			continue
+		}
+		na := comps[2]
+		n := s.Clone()
+		nl := n.freshNonce()
+		ka := n.freshKey()
+		m := Msg{
+			Label:    LabelAuthKeyDist,
+			Sender:   AgentLeader,
+			Receiver: AgentUser,
+			Content:  symbolic.Enc(symbolic.Tuple(sys.l, sys.a, na, nl, ka), sys.pa),
+		}
+		n.record(m)
+		n.Lead = LeaderState{Phase: LeadWaitingForKeyAck, N: nl, Ka: ka}
+		n.AdminSent = 0
+		steps = append(steps, Step{
+			Actor: AgentLeader, Action: "accept AuthInitReq, send AuthKeyDist",
+			Consumed: c, Emitted: &m, Next: n,
+		})
+	}
+	return steps
+}
+
+// leaderRecvKeyAck: WaitingForKeyAck(Nl, Ka) -> Connected(N', Ka) on
+// reception of {A, L, Nl, N'}_Ka. This is the acceptance event counted by
+// the proper-authentication property. snd_A starts empty for the session.
+func (sys *System) leaderRecvKeyAck(s *State) []Step {
+	var steps []Step
+	for _, c := range netEncs(s, s.Lead.Ka, 4) {
+		comps := c.Body().Components()
+		if !comps[0].Equal(sys.a) || !comps[1].Equal(sys.l) || !comps[2].Equal(s.Lead.N) {
+			continue
+		}
+		if comps[3].Kind() != symbolic.KindNonce {
+			continue
+		}
+		n := s.Clone()
+		n.Lead = LeaderState{Phase: LeadConnected, N: comps[3], Ka: s.Lead.Ka}
+		n.AccL++
+		n.SndA = nil
+		steps = append(steps, Step{
+			Actor: AgentLeader, Action: "accept AuthAckKey (A is now a member)",
+			Consumed: c, Next: n,
+		})
+	}
+	return steps
+}
+
+// leaderSendAdmin: Connected(Na, Ka) -> WaitingForAck(Nl, Ka); L sends
+// AdminMsg with {L, A, Na, Nl, X}_Ka, appending X to snd_A. Payloads are
+// distinct atoms tagged with the leader session and sequence number, so
+// duplicate or out-of-order acceptance is observable.
+func (sys *System) leaderSendAdmin(s *State) Step {
+	n := s.Clone()
+	nl := n.freshNonce()
+	x := symbolic.Data(fmt.Sprintf("s%dm%d", s.AccL, len(s.SndA)+1))
+	m := Msg{
+		Label:    LabelAdminMsg,
+		Sender:   AgentLeader,
+		Receiver: AgentUser,
+		Content:  symbolic.Enc(symbolic.Tuple(sys.l, sys.a, s.Lead.N, nl, x), s.Lead.Ka),
+	}
+	n.record(m)
+	n.SndA = append(n.SndA, x)
+	n.Lead = LeaderState{Phase: LeadWaitingForAck, N: nl, Ka: s.Lead.Ka}
+	n.AdminSent++
+	return Step{Actor: AgentLeader, Action: fmt.Sprintf("send AdminMsg %s", x), Emitted: &m, Next: n}
+}
+
+// leaderRecvAck: WaitingForAck(Nl, Ka) -> Connected(N', Ka) on reception of
+// {A, L, Nl, N'}_Ka.
+func (sys *System) leaderRecvAck(s *State) []Step {
+	var steps []Step
+	for _, c := range netEncs(s, s.Lead.Ka, 4) {
+		comps := c.Body().Components()
+		if !comps[0].Equal(sys.a) || !comps[1].Equal(sys.l) || !comps[2].Equal(s.Lead.N) {
+			continue
+		}
+		if comps[3].Kind() != symbolic.KindNonce {
+			continue
+		}
+		n := s.Clone()
+		n.Lead = LeaderState{Phase: LeadConnected, N: comps[3], Ka: s.Lead.Ka}
+		steps = append(steps, Step{
+			Actor: AgentLeader, Action: "accept Ack",
+			Consumed: c, Next: n,
+		})
+	}
+	return steps
+}
+
+// leaderRecvReqClose: any non-NotConnected leader phase -> NotConnected on
+// reception of {A, L}_Ka. The session key is discarded and released to the
+// network by an Oops event (Section 4.1), and snd_A is emptied.
+func (sys *System) leaderRecvReqClose(s *State) []Step {
+	var steps []Step
+	for _, c := range netEncs(s, s.Lead.Ka, 2) {
+		comps := c.Body().Components()
+		if !comps[0].Equal(sys.a) || !comps[1].Equal(sys.l) {
+			continue
+		}
+		n := s.Clone()
+		oops := Msg{Label: LabelOops, Sender: AgentLeader, Receiver: "*", Content: s.Lead.Ka}
+		n.record(oops)
+		n.Oopsed.Add(s.Lead.Ka)
+		n.Lead = LeaderState{Phase: LeadNotConnected}
+		n.SndA = nil
+		n.AdminSent = 0
+		steps = append(steps, Step{
+			Actor: AgentLeader, Action: "accept ReqClose, close session, Oops(Ka)",
+			Consumed: c, Emitted: &oops, Next: n,
+		})
+	}
+	return steps
+}
+
+// --- intruder E (Section 4.2) ---
+
+// intruderSteps injects synthesized messages that could trigger a currently
+// enabled honest guard and are not already in the trace. Constraint (2) of
+// Section 4.2 is enforced: every injected content is in Gen(E, q) =
+// Synth(Know(E, q) ∪ FreshFields(q)); E's fresh values are pre-seeded atoms
+// in I(E) (negative identifiers), which honest guards cannot distinguish
+// from genuinely fresh ones since they never test freshness of received
+// values.
+func (sys *System) intruderSteps(s *State) []Step {
+	if sys.cfg.ReplayOnlyIntruder {
+		return nil
+	}
+	var steps []Step
+	add := func(label Label, receiver string, content *symbolic.Field, what string) {
+		m := Msg{Label: label, Sender: AgentIntruder, Receiver: receiver, Content: content}
+		if _, dup := s.Net[m.Key()]; dup {
+			return
+		}
+		if !symbolic.CanSynth(content, s.IK) {
+			return
+		}
+		n := s.Clone()
+		n.record(m)
+		steps = append(steps, Step{
+			Actor: AgentIntruder, Action: "inject " + what,
+			Emitted: &m, Next: n,
+		})
+	}
+
+	nonces := atomsOfKind(s.IK, symbolic.KindNonce)
+	keys := atomsOfKind(s.IK, symbolic.KindKey)
+	data := atomsOfKind(s.IK, symbolic.KindData)
+
+	// Forged AuthInitReq for the leader (requires P_a — secrecy should
+	// make this unreachable, but the move is generated so a secrecy breach
+	// would be exploited rather than masked).
+	if s.Lead.Phase == LeadNotConnected {
+		for _, nn := range nonces {
+			add(LabelAuthInitReq, AgentLeader,
+				symbolic.Enc(symbolic.Tuple(sys.a, sys.l, nn), sys.pa), "forged AuthInitReq")
+		}
+	}
+	// Forged AuthKeyDist for a waiting user (requires P_a).
+	if s.Usr.Phase == UserWaitingForKey {
+		for _, nn := range nonces {
+			for _, k := range keys {
+				if k.KeyClass() != symbolic.KeySession {
+					continue
+				}
+				add(LabelAuthKeyDist, AgentUser,
+					symbolic.Enc(symbolic.Tuple(sys.l, sys.a, s.Usr.Na, nn, k), sys.pa), "forged AuthKeyDist")
+			}
+		}
+	}
+	// Forged AuthAckKey / Ack for a waiting leader (requires the session key).
+	if s.Lead.Phase == LeadWaitingForKeyAck || s.Lead.Phase == LeadWaitingForAck {
+		for _, nn := range nonces {
+			add(LabelAck, AgentLeader,
+				symbolic.Enc(symbolic.Tuple(sys.a, sys.l, s.Lead.N, nn), s.Lead.Ka), "forged Ack/AuthAckKey")
+		}
+	}
+	// Forged AdminMsg for a connected user (requires the session key).
+	if s.Usr.Phase == UserConnected {
+		for _, nn := range nonces {
+			for _, x := range data {
+				add(LabelAdminMsg, AgentUser,
+					symbolic.Enc(symbolic.Tuple(sys.l, sys.a, s.Usr.Na, nn, x), s.Usr.Ka), "forged AdminMsg")
+			}
+		}
+	}
+	// Forged ReqClose for the leader (requires the session key).
+	if s.Lead.Phase != LeadNotConnected {
+		add(LabelReqClose, AgentLeader,
+			symbolic.Enc(symbolic.Pair(sys.a, sys.l), s.Lead.Ka), "forged ReqClose")
+	}
+	return steps
+}
+
+// --- helpers ---
+
+// netEncs returns the distinct trace contents that are encryptions under
+// key with a body of the given arity. Honest receive guards range over
+// these: every deliverable field is a top-level trace content, since honest
+// messages never nest encryptions and intruder injections are recorded in
+// the trace before consumption.
+func netEncs(s *State, key *symbolic.Field, arity int) []*symbolic.Field {
+	seen := make(map[string]bool)
+	var out []*symbolic.Field
+	for _, m := range s.Messages() {
+		c := m.Content
+		if c.Kind() != symbolic.KindEnc || !c.EncKey().Equal(key) {
+			continue
+		}
+		if len(c.Body().Components()) != arity {
+			continue
+		}
+		if seen[c.Canon()] {
+			continue
+		}
+		seen[c.Canon()] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// atomsOfKind returns the atomic fields of the given kind in the set, in
+// canonical order.
+func atomsOfKind(s symbolic.Set, k symbolic.Kind) []*symbolic.Field {
+	var out []*symbolic.Field
+	for _, f := range s.Fields() {
+		if f.Kind() == k {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package model
+
+import (
+	"fmt"
+
+	"enclaves/internal/symbolic"
+)
+
+// This file models the leader's sessions WITH THE COMPROMISED MEMBER E
+// (enabled by Config.IntruderSessions). The paper's leader "is modeled as
+// the composition of separate transition systems, one for each user"
+// (Section 4.1); E is one such user, except its user side is played by the
+// Dolev-Yao intruder: every E-side message is synthesized from the
+// intruder's knowledge (E holds its own long-term key P_E and learns its
+// session keys by decrypting the leader's replies). The Section 5
+// properties about the honest pair (A, L) must hold regardless — a member
+// session of the attacker's own must give it no purchase on A's session.
+
+// eSteps enumerates the leader's transitions for user E plus the intruder's
+// E-side moves.
+func (sys *System) eSteps(s *State) []Step {
+	if !sys.cfg.IntruderSessions {
+		return nil
+	}
+	var steps []Step
+	steps = append(steps, sys.leaderEWork(s)...)
+	steps = append(steps, sys.intruderESide(s)...)
+	return steps
+}
+
+var (
+	ePrincipal = symbolic.Agent(AgentIntruder)
+	peKey      = symbolic.LongTermKey(AgentIntruder)
+)
+
+// leaderEWork is the leader's per-E transition system, the mirror image of
+// its per-A system.
+func (sys *System) leaderEWork(s *State) []Step {
+	var steps []Step
+	switch s.LeadE.Phase {
+	case LeadNotConnected:
+		if s.EEngagements >= sys.cfg.MaxSessions {
+			break
+		}
+		for _, c := range netEncs(s, peKey, 3) {
+			comps := c.Body().Components()
+			if !comps[0].Equal(ePrincipal) || !comps[1].Equal(sys.l) || comps[2].Kind() != symbolic.KindNonce {
+				continue
+			}
+			n := s.Clone()
+			nl := n.freshENonce()
+			ke := n.freshEKey()
+			m := Msg{
+				Label:    LabelAuthKeyDist,
+				Sender:   AgentLeader,
+				Receiver: AgentIntruder,
+				Content:  symbolic.Enc(symbolic.Tuple(sys.l, ePrincipal, comps[2], nl, ke), peKey),
+			}
+			n.record(m)
+			n.LeadE = LeaderState{Phase: LeadWaitingForKeyAck, N: nl, Ka: ke}
+			n.AdminSentE = 0
+			n.EEngagements++
+			steps = append(steps, Step{
+				Actor: AgentLeader, Action: "accept AuthInitReq from E, send AuthKeyDist",
+				Consumed: c, Emitted: &m, Next: n,
+			})
+		}
+	case LeadWaitingForKeyAck:
+		for _, c := range netEncs(s, s.LeadE.Ka, 4) {
+			comps := c.Body().Components()
+			if !comps[0].Equal(ePrincipal) || !comps[1].Equal(sys.l) || !comps[2].Equal(s.LeadE.N) {
+				continue
+			}
+			if comps[3].Kind() != symbolic.KindNonce {
+				continue
+			}
+			n := s.Clone()
+			n.LeadE = LeaderState{Phase: LeadConnected, N: comps[3], Ka: s.LeadE.Ka}
+			steps = append(steps, Step{
+				Actor: AgentLeader, Action: "accept AuthAckKey from E (E is a member)",
+				Consumed: c, Next: n,
+			})
+		}
+	case LeadConnected:
+		if s.AdminSentE < sys.cfg.MaxAdmin {
+			n := s.Clone()
+			nl := n.freshENonce()
+			x := symbolic.Data(fmt.Sprintf("e%dm%d", s.ESessions, s.AdminSentE+1))
+			m := Msg{
+				Label:    LabelAdminMsg,
+				Sender:   AgentLeader,
+				Receiver: AgentIntruder,
+				Content:  symbolic.Enc(symbolic.Tuple(sys.l, ePrincipal, s.LeadE.N, nl, x), s.LeadE.Ka),
+			}
+			n.record(m)
+			n.LeadE = LeaderState{Phase: LeadWaitingForAck, N: nl, Ka: s.LeadE.Ka}
+			n.AdminSentE++
+			steps = append(steps, Step{
+				Actor: AgentLeader, Action: fmt.Sprintf("send AdminMsg %s to E", x),
+				Emitted: &m, Next: n,
+			})
+		}
+	case LeadWaitingForAck:
+		for _, c := range netEncs(s, s.LeadE.Ka, 4) {
+			comps := c.Body().Components()
+			if !comps[0].Equal(ePrincipal) || !comps[1].Equal(sys.l) || !comps[2].Equal(s.LeadE.N) {
+				continue
+			}
+			if comps[3].Kind() != symbolic.KindNonce {
+				continue
+			}
+			n := s.Clone()
+			n.LeadE = LeaderState{Phase: LeadConnected, N: comps[3], Ka: s.LeadE.Ka}
+			steps = append(steps, Step{
+				Actor: AgentLeader, Action: "accept Ack from E",
+				Consumed: c, Next: n,
+			})
+		}
+	}
+	if s.LeadE.Phase != LeadNotConnected {
+		c := symbolic.Enc(symbolic.Pair(ePrincipal, sys.l), s.LeadE.Ka)
+		if _, present := s.Net[(Msg{Label: LabelReqClose, Content: c}).Key()]; present {
+			n := s.Clone()
+			oops := Msg{Label: LabelOops, Sender: AgentLeader, Receiver: "*", Content: s.LeadE.Ka}
+			n.record(oops)
+			n.Oopsed.Add(s.LeadE.Ka)
+			n.LeadE = LeaderState{Phase: LeadNotConnected}
+			n.AdminSentE = 0
+			steps = append(steps, Step{
+				Actor: AgentLeader, Action: "accept ReqClose from E, close, Oops(Ke)",
+				Consumed: c, Emitted: &oops, Next: n,
+			})
+		}
+	}
+	return steps
+}
+
+// intruderESide generates E's own protocol moves, all synthesized from the
+// intruder's knowledge (P_E initially; session keys K_e once the leader's
+// AuthKeyDist is decrypted).
+func (sys *System) intruderESide(s *State) []Step {
+	var steps []Step
+	add := func(label Label, content *symbolic.Field, what string) {
+		m := Msg{Label: label, Sender: AgentIntruder, Receiver: AgentLeader, Content: content}
+		if _, dup := s.Net[m.Key()]; dup {
+			return
+		}
+		if !symbolic.CanSynth(content, s.IK) {
+			return
+		}
+		n := s.Clone()
+		n.record(m)
+		steps = append(steps, Step{Actor: AgentIntruder, Action: what, Emitted: &m, Next: n})
+	}
+
+	switch s.LeadE.Phase {
+	case LeadNotConnected:
+		if s.ESessions < sys.cfg.MaxSessions {
+			// E starts its own join with one of its pool nonces.
+			m := Msg{
+				Label:    LabelAuthInitReq,
+				Sender:   AgentIntruder,
+				Receiver: AgentLeader,
+				Content:  symbolic.Enc(symbolic.Tuple(ePrincipal, sys.l, symbolic.Nonce(-1)), peKey),
+			}
+			if _, dup := s.Net[m.Key()]; !dup && symbolic.CanSynth(m.Content, s.IK) {
+				n := s.Clone()
+				n.record(m)
+				n.ESessions++
+				steps = append(steps, Step{Actor: AgentIntruder, Action: "E joins: send AuthInitReq", Emitted: &m, Next: n})
+			}
+		}
+	case LeadWaitingForKeyAck, LeadWaitingForAck:
+		// E acknowledges with a pool nonce (the leader does not test the
+		// freshness of E's nonces — it cannot).
+		add(LabelAck,
+			symbolic.Enc(symbolic.Tuple(ePrincipal, sys.l, s.LeadE.N, symbolic.Nonce(-2)), s.LeadE.Ka),
+			"E acknowledges")
+	case LeadConnected:
+		add(LabelReqClose,
+			symbolic.Enc(symbolic.Pair(ePrincipal, sys.l), s.LeadE.Ka),
+			"E leaves: send ReqClose")
+	}
+	return steps
+}

@@ -1,0 +1,125 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"enclaves/internal/symbolic"
+)
+
+// eSystem returns a system with intruder member sessions enabled.
+func eSystem() *System {
+	return NewSystem(Config{MaxSessions: 1, MaxAdmin: 1, IntruderSessions: true})
+}
+
+// runEJoin drives E's own session to Connected at the leader.
+func runEJoin(t *testing.T, sys *System, s *State) *State {
+	t.Helper()
+	s = findStep(t, sys, s, AgentIntruder, "E joins").Next
+	s = findStep(t, sys, s, AgentLeader, "accept AuthInitReq from E").Next
+	s = findStep(t, sys, s, AgentIntruder, "E acknowledges").Next
+	s = findStep(t, sys, s, AgentLeader, "accept AuthAckKey from E").Next
+	return s
+}
+
+func TestIntruderSessionLifecycle(t *testing.T) {
+	sys := eSystem()
+	s := runEJoin(t, sys, sys.Initial())
+	if s.LeadE.Phase != LeadConnected {
+		t.Fatalf("leader-for-E phase = %s", s.LeadE.Phase)
+	}
+	// The intruder DECRYPTED its own key distribution: it holds Ke.
+	if !s.IK.Contains(s.LeadE.Ka) {
+		t.Error("intruder does not know its own session key")
+	}
+	// A's side is untouched.
+	if s.Usr.Phase != UserNotConnected || s.Lead.Phase != LeadNotConnected {
+		t.Error("E's session disturbed A's state")
+	}
+
+	// Admin to E, E acks.
+	s = findStep(t, sys, s, AgentLeader, "send AdminMsg").Next
+	if s.LeadE.Phase != LeadWaitingForAck {
+		t.Fatalf("phase after admin = %s", s.LeadE.Phase)
+	}
+	s = findStep(t, sys, s, AgentIntruder, "E acknowledges").Next
+	s = findStep(t, sys, s, AgentLeader, "accept Ack from E").Next
+	if s.LeadE.Phase != LeadConnected {
+		t.Fatalf("phase after ack = %s", s.LeadE.Phase)
+	}
+
+	// E closes; Ke is oops'd (it was never secret anyway).
+	ke := s.LeadE.Ka
+	s = findStep(t, sys, s, AgentIntruder, "E leaves").Next
+	s = findStep(t, sys, s, AgentLeader, "accept ReqClose from E").Next
+	if s.LeadE.Phase != LeadNotConnected {
+		t.Fatalf("phase after close = %s", s.LeadE.Phase)
+	}
+	if !s.Oopsed.Contains(ke) {
+		t.Error("E's key not oops'd on close")
+	}
+}
+
+func TestIntruderSessionKeysDisjointFromUserRange(t *testing.T) {
+	sys := eSystem()
+	s := runEJoin(t, sys, sys.Initial())
+	if s.LeadE.Ka.ID() < eRangeBase {
+		t.Errorf("E session key id %d below the E range base", s.LeadE.Ka.ID())
+	}
+	// A's handshake allocates from the low range regardless of E activity.
+	s = findStep(t, sys, s, AgentUser, "join").Next
+	if s.Usr.Na.ID() >= eRangeBase {
+		t.Errorf("A nonce id %d in the E range", s.Usr.Na.ID())
+	}
+}
+
+func TestIntruderSessionKeyUselessAgainstA(t *testing.T) {
+	sys := eSystem()
+	s := runEJoin(t, sys, sys.Initial())
+
+	// Complete A's handshake while E is connected.
+	s = findStep(t, sys, s, AgentUser, "join").Next
+	var linked *Step
+	for _, st := range sys.Successors(s) {
+		st := st
+		if st.Actor == AgentLeader && strings.HasPrefix(st.Action, "accept AuthInitReq,") {
+			linked = &st
+		}
+	}
+	if linked == nil {
+		t.Fatal("leader never accepted A's join")
+	}
+	s = linked.Next
+	s = findStep(t, sys, s, AgentUser, "accept AuthKeyDist").Next
+	s = findStep(t, sys, s, AgentLeader, "accept AuthAckKey (A is now a member)").Next
+
+	// The intruder knows Ke but must not know A's Ka or Pa.
+	if s.IK.Contains(s.Usr.Ka) {
+		t.Error("intruder knows A's session key")
+	}
+	if s.IK.Contains(symbolic.LongTermKey(AgentUser)) {
+		t.Error("intruder knows A's long-term key")
+	}
+	// And no forged frame under Ke matches any of A's guards: every
+	// enabled intruder injection targets E's own session.
+	for _, st := range sys.Successors(s) {
+		if st.Actor != AgentIntruder {
+			continue
+		}
+		if st.Emitted != nil && st.Emitted.Content.Kind() == symbolic.KindEnc {
+			key := st.Emitted.Content.EncKey()
+			if key.Equal(s.Usr.Ka) || key.Equal(symbolic.LongTermKey(AgentUser)) {
+				t.Errorf("intruder forged under A's keys: %s", st)
+			}
+		}
+	}
+}
+
+func TestIntruderSessionsDisabledByDefault(t *testing.T) {
+	sys := NewSystem(Config{MaxSessions: 1, MaxAdmin: 1})
+	for _, st := range sys.Successors(sys.Initial()) {
+		if strings.HasPrefix(st.Action, "E joins") {
+			t.Fatal("E session step generated without IntruderSessions")
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package model implements the formal state-transition model of the
+// improved Enclaves protocol defined in Section 4 of the paper, and of the
+// original (legacy) Enclaves protocol of Section 2.2 used as the baseline.
+//
+// The model is the asynchronous composition of an honest user A (Figure 2),
+// an honest leader L (Figure 3), and a Dolev-Yao intruder E who observes
+// every message, can replay any observed field, and can synthesize new
+// messages from its knowledge (Section 4.2). Compromise of closed-session
+// keys is modeled by Oops events, exactly as in the paper.
+//
+// States are finite (sessions, admin messages and nonces are bounded by a
+// Config), so the reachable state space can be explored exhaustively by the
+// checker package.
+package model
+
+import (
+	"fmt"
+
+	"enclaves/internal/symbolic"
+)
+
+// Label is the protocol message type, carried in clear outside the
+// encryption (Section 4: "Each message consists of a label, an apparent
+// sender, an intended recipient, and a content").
+type Label uint8
+
+// Labels of the improved protocol (Section 3.2) followed by labels of the
+// legacy protocol (Section 2.2). LabelOops models key-compromise events.
+const (
+	// Improved protocol.
+	LabelAuthInitReq Label = iota + 1
+	LabelAuthKeyDist
+	LabelAuthAckKey
+	LabelAdminMsg
+	LabelAck
+	LabelReqClose
+
+	// Oops event: the content becomes public (Section 4, "oops" events).
+	LabelOops
+
+	// Legacy protocol (Section 2.2).
+	LabelReqOpen
+	LabelAckOpen
+	LabelConnDenied
+	LabelLegacyAuth1
+	LabelLegacyAuth2
+	LabelLegacyAuth3
+	LabelNewKey
+	LabelNewKeyAck
+	LabelLegacyReqClose
+	LabelCloseConn
+	LabelMemRemoved
+)
+
+var labelNames = map[Label]string{
+	LabelAuthInitReq:    "AuthInitReq",
+	LabelAuthKeyDist:    "AuthKeyDist",
+	LabelAuthAckKey:     "AuthAckKey",
+	LabelAdminMsg:       "AdminMsg",
+	LabelAck:            "Ack",
+	LabelReqClose:       "ReqClose",
+	LabelOops:           "Oops",
+	LabelReqOpen:        "ReqOpen",
+	LabelAckOpen:        "AckOpen",
+	LabelConnDenied:     "ConnDenied",
+	LabelLegacyAuth1:    "LegacyAuth1",
+	LabelLegacyAuth2:    "LegacyAuth2",
+	LabelLegacyAuth3:    "LegacyAuth3",
+	LabelNewKey:         "NewKey",
+	LabelNewKeyAck:      "NewKeyAck",
+	LabelLegacyReqClose: "LegacyReqClose",
+	LabelCloseConn:      "CloseConn",
+	LabelMemRemoved:     "MemRemoved",
+}
+
+func (l Label) String() string {
+	if s, ok := labelNames[l]; ok {
+		return s
+	}
+	return fmt.Sprintf("Label(%d)", uint8(l))
+}
+
+// Msg is a protocol message or oops event in the trace. Sender and Receiver
+// are the apparent endpoints; the intruder may forge both.
+type Msg struct {
+	Label    Label
+	Sender   string
+	Receiver string
+	Content  *symbolic.Field
+}
+
+// Key returns a canonical identifier for the message. Two messages with the
+// same label and content are semantically identical in the trace-set model
+// (resending an observed message adds nothing), so sender/receiver metadata
+// is excluded: the intruder can rewrite it freely.
+func (m Msg) Key() string {
+	return fmt.Sprintf("%d:%s", m.Label, m.Content.Canon())
+}
+
+func (m Msg) String() string {
+	if m.Label == LabelOops {
+		return fmt.Sprintf("Oops(%s)", m.Content)
+	}
+	return fmt.Sprintf("%s, %s -> %s : %s", m.Label, m.Sender, m.Receiver, m.Content)
+}
+
+// Agent names used throughout the model. The intruder E stands for the
+// entire coalition of compromised participants and outsiders (collusion is
+// subsumed by a single Dolev-Yao agent).
+const (
+	AgentUser     = "A"
+	AgentLeader   = "L"
+	AgentIntruder = "E"
+)

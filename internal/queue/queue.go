@@ -1,0 +1,96 @@
+// Package queue provides an unbounded FIFO with blocking receive and close
+// semantics, shared by the transport layer (whose links mirror the formal
+// model's never-full asynchronous network) and by event delivery to
+// applications.
+package queue
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed queue.
+var ErrClosed = errors.New("queue: closed")
+
+// Queue is an unbounded FIFO. The zero value is not usable; call New.
+type Queue[T any] struct {
+	mu     sync.Mutex
+	nonEmp *sync.Cond
+	items  []T
+	closed bool
+}
+
+// New returns an empty queue.
+func New[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	q.nonEmp = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends an item; it fails only on a closed queue.
+func (q *Queue[T]) Push(item T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.items = append(q.items, item)
+	q.nonEmp.Signal()
+	return nil
+}
+
+// Pop blocks until an item is available or the queue closes. After close,
+// remaining items are still drained in order before ErrClosed is returned.
+func (q *Queue[T]) Pop() (T, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.nonEmp.Wait()
+	}
+	var zero T
+	if len(q.items) == 0 {
+		return zero, ErrClosed
+	}
+	item := q.items[0]
+	q.items[0] = zero // release for GC
+	q.items = q.items[1:]
+	return item, nil
+}
+
+// TryPop returns the head item without blocking; ok is false if the queue
+// is empty.
+func (q *Queue[T]) TryPop() (item T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	item = q.items[0]
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return item, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close marks the queue closed and wakes all blocked receivers. Pending
+// items remain poppable.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.nonEmp.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}

@@ -1,0 +1,145 @@
+package queue
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPushPopOrder(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 10; i++ {
+		if err := q.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 10; i++ {
+		got, err := q.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+}
+
+func TestPopBlocksUntilPush(t *testing.T) {
+	q := New[string]()
+	done := make(chan string, 1)
+	go func() {
+		v, _ := q.Pop()
+		done <- v
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := q.Push("x"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-done:
+		if v != "x" {
+			t.Errorf("got %q", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Pop did not wake")
+	}
+}
+
+func TestCloseUnblocksPop(t *testing.T) {
+	q := New[int]()
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.Pop()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Pop did not unblock on close")
+	}
+}
+
+func TestCloseDrainsRemaining(t *testing.T) {
+	q := New[int]()
+	q.Push(1)
+	q.Push(2)
+	q.Close()
+	if !q.Closed() {
+		t.Error("Closed() = false")
+	}
+	if v, err := q.Pop(); err != nil || v != 1 {
+		t.Errorf("Pop = %d, %v", v, err)
+	}
+	if v, err := q.Pop(); err != nil || v != 2 {
+		t.Errorf("Pop = %d, %v", v, err)
+	}
+	if _, err := q.Pop(); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v", err)
+	}
+	if err := q.Push(3); !errors.Is(err, ErrClosed) {
+		t.Errorf("Push after close: %v", err)
+	}
+}
+
+func TestTryPop(t *testing.T) {
+	q := New[int]()
+	if _, ok := q.TryPop(); ok {
+		t.Error("TryPop on empty queue returned ok")
+	}
+	q.Push(5)
+	v, ok := q.TryPop()
+	if !ok || v != 5 {
+		t.Errorf("TryPop = %d, %v", v, ok)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := New[int]()
+	const producers, perProducer = 8, 100
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.Push(i); err != nil {
+					t.Errorf("push: %v", err)
+				}
+			}
+		}()
+	}
+	got := make(chan int, producers*perProducer)
+	var cwg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, err := q.Pop()
+				if err != nil {
+					return
+				}
+				got <- v
+			}
+		}()
+	}
+	wg.Wait()
+	// Wait for all items to be consumed, then close.
+	for len(got) < producers*perProducer {
+		time.Sleep(time.Millisecond)
+	}
+	q.Close()
+	cwg.Wait()
+	if len(got) != producers*perProducer {
+		t.Errorf("consumed %d items, want %d", len(got), producers*perProducer)
+	}
+}

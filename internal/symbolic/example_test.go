@@ -1,0 +1,45 @@
+package symbolic_test
+
+import (
+	"fmt"
+
+	"enclaves/internal/symbolic"
+)
+
+// Example demonstrates the message algebra on the paper's own key
+// distribution message {L, A, N1, N2, Ka}_Pa: without P_a the session key
+// is unreachable; with P_a it falls out of Analz.
+func Example() {
+	var (
+		a  = symbolic.Agent("A")
+		l  = symbolic.Agent("L")
+		pa = symbolic.LongTermKey("A")
+		ka = symbolic.SessionKey(1)
+		n1 = symbolic.Nonce(1)
+		n2 = symbolic.Nonce(2)
+	)
+	keyDist := symbolic.Enc(symbolic.Tuple(l, a, n1, n2, ka), pa)
+	fmt.Println(keyDist)
+
+	// An observer without P_a cannot extract Ka...
+	observed := symbolic.Analz(symbolic.NewSet(keyDist))
+	fmt.Println("Ka known without P_a:", observed.Contains(ka))
+
+	// ...but one holding P_a can.
+	withKey := symbolic.Analz(symbolic.NewSet(keyDist, pa))
+	fmt.Println("Ka known with P_a:   ", withKey.Contains(ka))
+
+	// The ideal I({Ka, Pa}) contains exactly the fields that could leak
+	// the protected keys (Section 5.2).
+	s := symbolic.NewSet(ka, pa)
+	fmt.Println("key dist leaks keys: ", symbolic.InIdeal(keyDist, s))
+	leaky := symbolic.Enc(ka, symbolic.LongTermKey("B"))
+	fmt.Println("{Ka}_Pb leaks keys:  ", symbolic.InIdeal(leaky, s))
+
+	// Output:
+	// {L,A,N1,N2,K1}_P(A)
+	// Ka known without P_a: false
+	// Ka known with P_a:    true
+	// key dist leaks keys:  false
+	// {Ka}_Pb leaks keys:   true
+}

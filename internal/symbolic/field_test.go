@@ -1,0 +1,185 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFieldConstructorsAndAccessors(t *testing.T) {
+	a := Agent("A")
+	if a.Kind() != KindAgent || a.Name() != "A" {
+		t.Errorf("Agent: got kind=%v name=%q", a.Kind(), a.Name())
+	}
+	n := Nonce(7)
+	if n.Kind() != KindNonce || n.ID() != 7 {
+		t.Errorf("Nonce: got kind=%v id=%d", n.Kind(), n.ID())
+	}
+	p := LongTermKey("A")
+	if p.Kind() != KindKey || p.KeyClass() != KeyLongTerm || p.Name() != "A" {
+		t.Errorf("LongTermKey: got %v/%v/%q", p.Kind(), p.KeyClass(), p.Name())
+	}
+	k := SessionKey(3)
+	if k.Kind() != KindKey || k.KeyClass() != KeySession || k.ID() != 3 {
+		t.Errorf("SessionKey: got %v/%v/%d", k.Kind(), k.KeyClass(), k.ID())
+	}
+	d := Data("newkey")
+	if d.Kind() != KindData || d.Name() != "newkey" {
+		t.Errorf("Data: got %v/%q", d.Kind(), d.Name())
+	}
+	pr := Pair(a, n)
+	if pr.Kind() != KindPair || !pr.Left().Equal(a) || !pr.Right().Equal(n) {
+		t.Errorf("Pair accessors wrong: %v", pr)
+	}
+	e := Enc(pr, p)
+	if e.Kind() != KindEnc || !e.Body().Equal(pr) || !e.EncKey().Equal(p) {
+		t.Errorf("Enc accessors wrong: %v", e)
+	}
+	if e.Body() == nil || a.Body() != nil || a.EncKey() != nil {
+		t.Error("Body/EncKey nil behaviour wrong")
+	}
+}
+
+func TestFieldEquality(t *testing.T) {
+	tests := []struct {
+		name string
+		x, y *Field
+		want bool
+	}{
+		{"same agent", Agent("A"), Agent("A"), true},
+		{"different agent", Agent("A"), Agent("B"), false},
+		{"same nonce", Nonce(1), Nonce(1), true},
+		{"different nonce", Nonce(1), Nonce(2), false},
+		{"nonce vs session key same id", Nonce(1), SessionKey(1), false},
+		{"long-term vs session", LongTermKey("A"), SessionKey(1), false},
+		{"agent vs data", Agent("A"), Data("A"), false},
+		{"equal pairs", Pair(Agent("A"), Nonce(1)), Pair(Agent("A"), Nonce(1)), true},
+		{"swapped pairs", Pair(Agent("A"), Nonce(1)), Pair(Nonce(1), Agent("A")), false},
+		{"equal enc", Enc(Nonce(1), LongTermKey("A")), Enc(Nonce(1), LongTermKey("A")), true},
+		{"enc different key", Enc(Nonce(1), LongTermKey("A")), Enc(Nonce(1), LongTermKey("B")), false},
+		{"pair vs enc", Pair(Nonce(1), LongTermKey("A")), Enc(Nonce(1), LongTermKey("A")), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.x.Equal(tt.y); got != tt.want {
+				t.Errorf("Equal(%v, %v) = %v, want %v", tt.x, tt.y, got, tt.want)
+			}
+			if got := tt.x.Canon() == tt.y.Canon(); got != tt.want {
+				t.Errorf("canon equality (%q, %q) = %v, want %v", tt.x.Canon(), tt.y.Canon(), got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCanonUnambiguous(t *testing.T) {
+	// Structurally different nestings must have different canonical forms.
+	a, b, c := Agent("A"), Agent("B"), Agent("C")
+	left := Pair(Pair(a, b), c)
+	right := Pair(a, Pair(b, c))
+	if left.Canon() == right.Canon() {
+		t.Errorf("left- and right-nested pairs share canon %q", left.Canon())
+	}
+}
+
+func TestTupleRightNesting(t *testing.T) {
+	a, b, c := Agent("A"), Agent("B"), Nonce(1)
+	got := Tuple(a, b, c)
+	want := Pair(a, Pair(b, c))
+	if !got.Equal(want) {
+		t.Errorf("Tuple = %v, want %v", got, want)
+	}
+	if single := Tuple(a); !single.Equal(a) {
+		t.Errorf("Tuple(a) = %v, want %v", single, a)
+	}
+}
+
+func TestTuplePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Tuple() did not panic")
+		}
+	}()
+	Tuple()
+}
+
+func TestComponents(t *testing.T) {
+	a, b, c := Agent("A"), Agent("B"), Nonce(1)
+	comps := Tuple(a, b, c).Components()
+	if len(comps) != 3 || !comps[0].Equal(a) || !comps[1].Equal(b) || !comps[2].Equal(c) {
+		t.Errorf("Components = %v", comps)
+	}
+	if comps := a.Components(); len(comps) != 1 || !comps[0].Equal(a) {
+		t.Errorf("atomic Components = %v", comps)
+	}
+	// Encryptions are not flattened.
+	e := Enc(Pair(a, b), LongTermKey("A"))
+	if comps := e.Components(); len(comps) != 1 || !comps[0].Equal(e) {
+		t.Errorf("enc Components = %v", comps)
+	}
+}
+
+func TestIsAtomic(t *testing.T) {
+	if !Agent("A").IsAtomic() || !Nonce(1).IsAtomic() || !SessionKey(1).IsAtomic() || !Data("x").IsAtomic() {
+		t.Error("primitive fields must be atomic")
+	}
+	if Pair(Agent("A"), Nonce(1)).IsAtomic() || Enc(Nonce(1), SessionKey(1)).IsAtomic() {
+		t.Error("composite fields must not be atomic")
+	}
+}
+
+func TestStringNotation(t *testing.T) {
+	f := Enc(Tuple(Agent("A"), Agent("L"), Nonce(1)), LongTermKey("A"))
+	if got, want := f.String(), "{A,L,N1}_P(A)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if got, want := SessionKey(2).String(), "K2"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if got, want := Data("join").String(), "X(join)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+// randomAtoms is a pool of primitives used by the random field generator.
+func randomAtoms() []*Field {
+	return []*Field{
+		Agent("A"), Agent("L"), Agent("E"),
+		Nonce(1), Nonce(2), Nonce(3),
+		LongTermKey("A"), LongTermKey("E"),
+		SessionKey(1), SessionKey(2),
+		Data("x1"), Data("x2"),
+	}
+}
+
+// randomField generates an arbitrary field of bounded depth for
+// property-based tests.
+func randomField(r *rand.Rand, depth int) *Field {
+	atoms := randomAtoms()
+	if depth <= 0 || r.Intn(3) == 0 {
+		return atoms[r.Intn(len(atoms))]
+	}
+	if r.Intn(2) == 0 {
+		return Pair(randomField(r, depth-1), randomField(r, depth-1))
+	}
+	keys := []*Field{LongTermKey("A"), LongTermKey("E"), SessionKey(1), SessionKey(2)}
+	return Enc(randomField(r, depth-1), keys[r.Intn(len(keys))])
+}
+
+// randomSet generates a random field set for property-based tests.
+func randomSet(r *rand.Rand, n, depth int) Set {
+	s := NewSet()
+	for i := 0; i < n; i++ {
+		s.Add(randomField(r, depth))
+	}
+	return s
+}
+
+func TestCanonRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		f := randomField(r, 4)
+		g := randomField(r, 4)
+		if (f.Canon() == g.Canon()) != f.Equal(g) {
+			t.Fatalf("canon/Equal disagree for %v and %v", f, g)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"enclaves/internal/wire"
+)
+
+// Direction identifies the flow of a frame through an adversarial link.
+type Direction uint8
+
+// Frame directions on a Link.
+const (
+	// AToB flows from the A-side endpoint to the B-side endpoint.
+	AToB Direction = iota + 1
+	// BToA flows from the B-side endpoint to the A-side endpoint.
+	BToA
+)
+
+func (d Direction) String() string {
+	switch d {
+	case AToB:
+		return "A->B"
+	case BToA:
+		return "B->A"
+	default:
+		return "?"
+	}
+}
+
+// Captured is one frame observed by the adversary.
+type Captured struct {
+	Dir Direction
+	Env wire.Envelope
+}
+
+// FilterFunc inspects an in-flight frame; returning false drops it.
+type FilterFunc func(Direction, wire.Envelope) bool
+
+// Link is a bidirectional connection fully controlled by a Dolev-Yao
+// adversary: every frame is recorded, frames can be dropped by a filter,
+// and the adversary can inject arbitrary frames or replay recorded ones in
+// either direction. This realizes the network assumptions of Section 3.1.
+type Link struct {
+	mu       sync.Mutex
+	captured []Captured
+	filter   FilterFunc
+
+	aSide Conn // handed to the A endpoint
+	bSide Conn
+
+	aIn *envQueue // frames awaiting Recv by the A endpoint
+	bIn *envQueue
+}
+
+// NewLink returns an adversarial link. ASide and BSide are the two
+// endpoints' connections; everything between them crosses the adversary.
+func NewLink() *Link {
+	l := &Link{
+		aIn: newQueue(),
+		bIn: newQueue(),
+	}
+	l.aSide = &linkConn{link: l, dir: AToB, in: l.aIn}
+	l.bSide = &linkConn{link: l, dir: BToA, in: l.bIn}
+	return l
+}
+
+// ASide returns the connection used by the A-side endpoint.
+func (l *Link) ASide() Conn { return l.aSide }
+
+// BSide returns the connection used by the B-side endpoint.
+func (l *Link) BSide() Conn { return l.bSide }
+
+// SetFilter installs a drop rule applied to subsequent frames. A nil filter
+// delivers everything.
+func (l *Link) SetFilter(f FilterFunc) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.filter = f
+}
+
+// Captured returns a copy of every frame observed so far, in order.
+func (l *Link) Captured() []Captured {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Captured(nil), l.captured...)
+}
+
+// Inject delivers an adversary-crafted frame in the given direction, as if
+// it had been sent by the corresponding endpoint.
+func (l *Link) Inject(dir Direction, e wire.Envelope) error {
+	return translatePushErr(l.destination(dir).Push(e))
+}
+
+// Replay re-delivers the i-th captured frame to its original destination.
+func (l *Link) Replay(i int) error {
+	l.mu.Lock()
+	if i < 0 || i >= len(l.captured) {
+		l.mu.Unlock()
+		return fmt.Errorf("transport: replay index %d out of range", i)
+	}
+	c := l.captured[i]
+	l.mu.Unlock()
+	return l.Inject(c.Dir, c.Env)
+}
+
+// ReplayMatching re-delivers every captured frame satisfying pred, in
+// capture order, and returns how many were replayed.
+func (l *Link) ReplayMatching(pred func(Captured) bool) (int, error) {
+	replayed := 0
+	for _, c := range l.Captured() {
+		if !pred(c) {
+			continue
+		}
+		if err := l.Inject(c.Dir, c.Env); err != nil {
+			return replayed, err
+		}
+		replayed++
+	}
+	return replayed, nil
+}
+
+// Close tears down both sides.
+func (l *Link) Close() {
+	l.aIn.Close()
+	l.bIn.Close()
+}
+
+// transmit is called by an endpoint's Send: record, filter, deliver.
+func (l *Link) transmit(dir Direction, e wire.Envelope) error {
+	l.mu.Lock()
+	l.captured = append(l.captured, Captured{Dir: dir, Env: e})
+	filter := l.filter
+	l.mu.Unlock()
+	if filter != nil && !filter(dir, e) {
+		return nil // dropped by the adversary; sender cannot tell
+	}
+	return translatePushErr(l.destination(dir).Push(e))
+}
+
+func (l *Link) destination(dir Direction) *envQueue {
+	if dir == AToB {
+		return l.bIn
+	}
+	return l.aIn
+}
+
+// linkConn is one endpoint of an adversarial link.
+type linkConn struct {
+	link *Link
+	dir  Direction // direction of frames SENT by this endpoint
+	in   *envQueue
+
+	closeOnce sync.Once
+}
+
+var _ Conn = (*linkConn)(nil)
+
+func (c *linkConn) Send(e wire.Envelope) error {
+	return c.link.transmit(c.dir, e)
+}
+
+func (c *linkConn) Recv() (wire.Envelope, error) {
+	return translateErr(c.in.Pop())
+}
+
+func (c *linkConn) Close() error {
+	c.closeOnce.Do(func() { c.link.Close() })
+	return nil
+}

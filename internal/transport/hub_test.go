@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"testing"
+
+	"enclaves/internal/wire"
+)
+
+func TestLinkDeliversBothDirections(t *testing.T) {
+	l := NewLink()
+	defer l.Close()
+	a, b := l.ASide(), l.BSide()
+
+	if err := a.Send(env(wire.TypeAck, "a", "to-b")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Payload) != "to-b" {
+		t.Errorf("payload = %q", got.Payload)
+	}
+
+	if err := b.Send(env(wire.TypeAck, "b", "to-a")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = a.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Payload) != "to-a" {
+		t.Errorf("payload = %q", got.Payload)
+	}
+}
+
+func TestLinkCapturesEverything(t *testing.T) {
+	l := NewLink()
+	defer l.Close()
+	a, b := l.ASide(), l.BSide()
+
+	a.Send(env(wire.TypeAuthInitReq, "a", "one"))
+	b.Send(env(wire.TypeAuthKeyDist, "b", "two"))
+	a.Send(env(wire.TypeAuthAckKey, "a", "three"))
+
+	cap := l.Captured()
+	if len(cap) != 3 {
+		t.Fatalf("captured %d frames, want 3", len(cap))
+	}
+	if cap[0].Dir != AToB || cap[1].Dir != BToA || cap[2].Dir != AToB {
+		t.Errorf("directions = %v %v %v", cap[0].Dir, cap[1].Dir, cap[2].Dir)
+	}
+	if string(cap[1].Env.Payload) != "two" {
+		t.Errorf("capture order wrong: %q", cap[1].Env.Payload)
+	}
+}
+
+func TestLinkFilterDrops(t *testing.T) {
+	l := NewLink()
+	defer l.Close()
+	a, b := l.ASide(), l.BSide()
+
+	l.SetFilter(func(d Direction, e wire.Envelope) bool {
+		return e.Type != wire.TypeAck // drop all acks
+	})
+	if err := a.Send(env(wire.TypeAck, "a", "dropped")); err != nil {
+		t.Fatal(err) // sender cannot tell
+	}
+	if err := a.Send(env(wire.TypeAppData, "a", "delivered")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Payload) != "delivered" {
+		t.Errorf("got %q, dropped frame was delivered", got.Payload)
+	}
+	// Dropped frames are still captured (the adversary observed them).
+	if len(l.Captured()) != 2 {
+		t.Errorf("captured %d, want 2", len(l.Captured()))
+	}
+}
+
+func TestLinkInject(t *testing.T) {
+	l := NewLink()
+	defer l.Close()
+	b := l.BSide()
+
+	forged := env(wire.TypeConnDenied, "leader", "denied")
+	if err := l.Inject(AToB, forged); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != wire.TypeConnDenied {
+		t.Errorf("injected frame type = %v", got.Type)
+	}
+	// Injected frames are not captures of endpoint traffic.
+	if len(l.Captured()) != 0 {
+		t.Error("injection polluted the capture log")
+	}
+}
+
+func TestLinkReplay(t *testing.T) {
+	l := NewLink()
+	defer l.Close()
+	a, b := l.ASide(), l.BSide()
+
+	a.Send(env(wire.TypeNewKey, "l", "old-key"))
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := l.Replay(0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Payload) != "old-key" {
+		t.Errorf("replayed payload = %q", got.Payload)
+	}
+
+	if err := l.Replay(7); err == nil {
+		t.Error("out-of-range replay succeeded")
+	}
+	if err := l.Replay(-1); err == nil {
+		t.Error("negative replay succeeded")
+	}
+}
+
+func TestLinkReplayMatching(t *testing.T) {
+	l := NewLink()
+	defer l.Close()
+	a, b := l.ASide(), l.BSide()
+
+	a.Send(env(wire.TypeNewKey, "l", "k1"))
+	a.Send(env(wire.TypeAppData, "l", "d1"))
+	a.Send(env(wire.TypeNewKey, "l", "k2"))
+	for i := 0; i < 3; i++ {
+		if _, err := b.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	n, err := l.ReplayMatching(func(c Captured) bool { return c.Env.Type == wire.TypeNewKey })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("replayed %d, want 2", n)
+	}
+	for _, want := range []string{"k1", "k2"} {
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got.Payload) != want {
+			t.Errorf("replay payload = %q want %q", got.Payload, want)
+		}
+	}
+}
+
+func TestLinkCloseUnblocks(t *testing.T) {
+	l := NewLink()
+	a := l.ASide()
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Recv()
+		done <- err
+	}()
+	l.Close()
+	if err := <-done; err == nil {
+		t.Error("Recv on closed link succeeded")
+	}
+}

@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MemNetwork is an in-memory network: named listeners and dialers connected
+// by Pipe links. It is the default substrate for tests, examples and
+// benchmarks.
+type MemNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	closed    bool
+}
+
+// NewMemNetwork returns an empty in-memory network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{listeners: make(map[string]*memListener)}
+}
+
+// Listen registers a listener at addr.
+func (n *MemNetwork) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, taken := n.listeners[addr]; taken {
+		return nil, fmt.Errorf("transport: address %q already in use", addr)
+	}
+	l := &memListener{
+		net:     n,
+		addr:    addr,
+		backlog: make(chan Conn, 1),
+		done:    make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to the listener at addr.
+func (n *MemNetwork) Dial(addr string) (Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no listener at %q", addr)
+	}
+	client, server := Pipe()
+	select {
+	case l.backlog <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		return nil, ErrClosed
+	}
+}
+
+// Close shuts down the network and all its listeners.
+func (n *MemNetwork) Close() {
+	n.mu.Lock()
+	listeners := make([]*memListener, 0, len(n.listeners))
+	for _, l := range n.listeners {
+		listeners = append(listeners, l)
+	}
+	n.closed = true
+	n.mu.Unlock()
+	for _, l := range listeners {
+		l.Close()
+	}
+}
+
+type memListener struct {
+	net     *MemNetwork
+	addr    string
+	backlog chan Conn
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+var _ Listener = (*memListener)(nil)
+
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Addr() string { return l.addr }
+
+func (l *memListener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}

@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"enclaves/internal/wire"
+)
+
+// tcpConn adapts a net.Conn to the framed Conn interface.
+type tcpConn struct {
+	conn net.Conn
+
+	sendMu sync.Mutex
+	w      *bufio.Writer
+
+	recvMu sync.Mutex
+	r      *bufio.Reader
+}
+
+var _ Conn = (*tcpConn)(nil)
+
+// NewNetConn wraps an established net.Conn (TCP, Unix socket, net.Pipe) as
+// a framed transport connection.
+func NewNetConn(c net.Conn) Conn {
+	return &tcpConn{
+		conn: c,
+		w:    bufio.NewWriter(c),
+		r:    bufio.NewReader(c),
+	}
+}
+
+// DialTCP connects to a framed TCP endpoint.
+func DialTCP(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewNetConn(c), nil
+}
+
+func (c *tcpConn) Send(e wire.Envelope) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if err := wire.WriteFrame(c.w, e); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func (c *tcpConn) Recv() (wire.Envelope, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	return wire.ReadFrame(c.r)
+}
+
+func (c *tcpConn) Close() error {
+	return c.conn.Close()
+}
+
+// tcpListener adapts a net.Listener.
+type tcpListener struct {
+	l net.Listener
+}
+
+var _ Listener = (*tcpListener)(nil)
+
+// ListenTCP starts a framed TCP listener on addr (e.g. "127.0.0.1:0").
+func ListenTCP(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &tcpListener{l: l}, nil
+}
+
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewNetConn(c), nil
+}
+
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+
+func (t *tcpListener) Close() error { return t.l.Close() }

@@ -1,0 +1,98 @@
+// Package transport provides the point-to-point links of the Enclaves
+// architecture (Figure 1): an in-memory network for tests and examples, a
+// TCP transport for deployment, and an adversarial hub that gives a
+// Dolev-Yao attacker full control of the network — observation, dropping,
+// injection, duplication and replay of frames — matching the threat model
+// of Section 3.1 ("compromised participants and outsiders can read all the
+// messages exchanged, replay old messages, and send arbitrary messages they
+// can construct").
+package transport
+
+import (
+	"errors"
+	"sync"
+
+	"enclaves/internal/queue"
+	"enclaves/internal/wire"
+)
+
+// ErrClosed is returned by operations on a closed connection or listener.
+var ErrClosed = errors.New("transport: closed")
+
+// Conn is a bidirectional, message-oriented point-to-point link.
+// Implementations are safe for concurrent use.
+type Conn interface {
+	// Send transmits one envelope.
+	Send(wire.Envelope) error
+	// Recv blocks until an envelope arrives or the connection closes.
+	Recv() (wire.Envelope, error)
+	// Close tears the connection down; pending and future Recv calls
+	// return ErrClosed (or io errors for network transports).
+	Close() error
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	// Accept blocks until a connection arrives.
+	Accept() (Conn, error)
+	// Addr returns the listen address.
+	Addr() string
+	// Close stops the listener.
+	Close() error
+}
+
+// envQueue is the unbounded envelope FIFO backing in-memory links. Its
+// unboundedness mirrors the asynchronous network of the formal model (the
+// network never refuses a message); back-pressure is applied at the
+// protocol layer, which allows only one outstanding AdminMsg per member.
+type envQueue = queue.Queue[wire.Envelope]
+
+func newQueue() *envQueue { return queue.New[wire.Envelope]() }
+
+// pipeConn is one endpoint of an in-memory duplex pipe.
+type pipeConn struct {
+	recv *envQueue
+	peer *envQueue
+
+	closeOnce sync.Once
+}
+
+var _ Conn = (*pipeConn)(nil)
+
+// Pipe returns two connected in-memory endpoints: frames sent on one are
+// received on the other, in order, with no interference.
+func Pipe() (Conn, Conn) {
+	qa, qb := newQueue(), newQueue()
+	return &pipeConn{recv: qa, peer: qb}, &pipeConn{recv: qb, peer: qa}
+}
+
+func (c *pipeConn) Send(e wire.Envelope) error {
+	return translatePushErr(c.peer.Push(e))
+}
+
+func (c *pipeConn) Recv() (wire.Envelope, error) {
+	return translateErr(c.recv.Pop())
+}
+
+func (c *pipeConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.recv.Close()
+		c.peer.Close()
+	})
+	return nil
+}
+
+// translateErr maps queue closure onto the transport's ErrClosed.
+func translateErr(e wire.Envelope, err error) (wire.Envelope, error) {
+	if errors.Is(err, queue.ErrClosed) {
+		return e, ErrClosed
+	}
+	return e, err
+}
+
+func translatePushErr(err error) error {
+	if errors.Is(err, queue.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}

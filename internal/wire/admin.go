@@ -1,0 +1,165 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"enclaves/internal/crypto"
+)
+
+// AdminBody is a group-management message body — the field X of the
+// AdminMsg exchange (Section 3.2). Concrete bodies: NewGroupKey,
+// MemberJoined, MemberLeft, MemberList.
+type AdminBody interface {
+	// AdminKind returns the body's wire tag.
+	AdminKind() AdminKind
+	// String renders the body for logs.
+	String() string
+}
+
+// AdminKind tags the concrete AdminBody on the wire.
+type AdminKind uint8
+
+// Admin body kinds.
+const (
+	AdminNewGroupKey AdminKind = iota + 1
+	AdminMemberJoined
+	AdminMemberLeft
+	AdminMemberList
+)
+
+func (k AdminKind) String() string {
+	switch k {
+	case AdminNewGroupKey:
+		return "NewGroupKey"
+	case AdminMemberJoined:
+		return "MemberJoined"
+	case AdminMemberLeft:
+		return "MemberLeft"
+	case AdminMemberList:
+		return "MemberList"
+	default:
+		return fmt.Sprintf("AdminKind(%d)", uint8(k))
+	}
+}
+
+// NewGroupKey distributes a new group key K'_g with its epoch. Epochs
+// increase strictly; members use them to label application data.
+type NewGroupKey struct {
+	Epoch uint64
+	Key   crypto.Key
+}
+
+// AdminKind implements AdminBody.
+func (NewGroupKey) AdminKind() AdminKind { return AdminNewGroupKey }
+
+func (b NewGroupKey) String() string {
+	return fmt.Sprintf("NewGroupKey(epoch=%d, %s)", b.Epoch, b.Key)
+}
+
+// MemberJoined announces that a user has joined the group.
+type MemberJoined struct {
+	Name string
+}
+
+// AdminKind implements AdminBody.
+func (MemberJoined) AdminKind() AdminKind { return AdminMemberJoined }
+
+func (b MemberJoined) String() string { return "MemberJoined(" + b.Name + ")" }
+
+// MemberLeft announces that a user has left (or was expelled from) the
+// group.
+type MemberLeft struct {
+	Name string
+}
+
+// AdminKind implements AdminBody.
+func (MemberLeft) AdminKind() AdminKind { return AdminMemberLeft }
+
+func (b MemberLeft) String() string { return "MemberLeft(" + b.Name + ")" }
+
+// MemberList transfers the complete current membership, sent to a member
+// right after it joins ("sends to A the identity of all the other group
+// members", Section 2.2).
+type MemberList struct {
+	Names []string
+}
+
+// AdminKind implements AdminBody.
+func (MemberList) AdminKind() AdminKind { return AdminMemberList }
+
+func (b MemberList) String() string {
+	names := append([]string(nil), b.Names...)
+	sort.Strings(names)
+	return "MemberList(" + strings.Join(names, ",") + ")"
+}
+
+// MarshalAdminBody encodes an admin body with its kind tag.
+func MarshalAdminBody(body AdminBody) []byte {
+	var b builder
+	b.putUint8(uint8(body.AdminKind()))
+	switch v := body.(type) {
+	case NewGroupKey:
+		b.putUint64(v.Epoch)
+		b.bytes = append(b.bytes, v.Key.Bytes()...)
+	case MemberJoined:
+		b.putString(v.Name)
+	case MemberLeft:
+		b.putString(v.Name)
+	case MemberList:
+		b.putUint64(uint64(len(v.Names)))
+		names := append([]string(nil), v.Names...)
+		sort.Strings(names)
+		for _, n := range names {
+			b.putString(n)
+		}
+	}
+	return b.bytes
+}
+
+// UnmarshalAdminBody decodes an admin body.
+func UnmarshalAdminBody(data []byte) (AdminBody, error) {
+	p := parser{data: data}
+	kind := AdminKind(p.uint8())
+	switch kind {
+	case AdminNewGroupKey:
+		epoch := p.uint64()
+		raw := p.fixed(crypto.KeySize)
+		if err := p.finish(); err != nil {
+			return nil, fmt.Errorf("%w: new group key: %v", ErrBadPayload, err)
+		}
+		k, err := crypto.KeyFromBytes(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: new group key: %v", ErrBadPayload, err)
+		}
+		return NewGroupKey{Epoch: epoch, Key: k}, nil
+	case AdminMemberJoined:
+		name := p.string()
+		if err := p.finish(); err != nil {
+			return nil, fmt.Errorf("%w: member joined: %v", ErrBadPayload, err)
+		}
+		return MemberJoined{Name: name}, nil
+	case AdminMemberLeft:
+		name := p.string()
+		if err := p.finish(); err != nil {
+			return nil, fmt.Errorf("%w: member left: %v", ErrBadPayload, err)
+		}
+		return MemberLeft{Name: name}, nil
+	case AdminMemberList:
+		n := p.uint64()
+		if n > 100000 {
+			return nil, fmt.Errorf("%w: member list of %d", ErrBadPayload, n)
+		}
+		names := make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			names = append(names, p.string())
+		}
+		if err := p.finish(); err != nil {
+			return nil, fmt.Errorf("%w: member list: %v", ErrBadPayload, err)
+		}
+		return MemberList{Names: names}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown admin kind %d", ErrBadPayload, uint8(kind))
+	}
+}

@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"fmt"
+
+	"enclaves/internal/crypto"
+)
+
+// This file defines the payload encodings of the ORIGINAL Enclaves protocol
+// (Section 2.2), kept as the baseline. Its deliberate weaknesses
+// (Section 2.3) are preserved faithfully:
+//
+//   - the pre-authentication exchange (req_open / ack_open /
+//     connection_denied) is plaintext and unauthenticated,
+//   - the key-distribution message carries the group key K_g inside the
+//     authentication exchange,
+//   - new_key carries no freshness evidence, so replays are accepted,
+//   - mem_removed is encrypted under the shared group key, so any member
+//     can forge it.
+
+// LegacyOpenPayload is the plaintext content of ReqOpen, AckOpen and
+// ConnDenied.
+type LegacyOpenPayload struct {
+	From string
+}
+
+// Marshal encodes the payload deterministically.
+func (p LegacyOpenPayload) Marshal() []byte {
+	var b builder
+	b.putString(p.From)
+	return b.bytes
+}
+
+// UnmarshalLegacyOpen decodes a LegacyOpenPayload.
+func UnmarshalLegacyOpen(data []byte) (LegacyOpenPayload, error) {
+	p := parser{data: data}
+	out := LegacyOpenPayload{From: p.string()}
+	if err := p.finish(); err != nil {
+		return LegacyOpenPayload{}, fmt.Errorf("%w: legacy open: %v", ErrBadPayload, err)
+	}
+	return out, nil
+}
+
+// LegacyAuth2Payload is the content of message 2 of the legacy
+// authentication: {L, A, N1, N2, Ka, IV, Kg}_Pa. Unlike the improved
+// protocol it transports the group key during authentication.
+type LegacyAuth2Payload struct {
+	Leader     string
+	User       string
+	N1         crypto.Nonce
+	N2         crypto.Nonce
+	SessionKey crypto.Key
+	GroupKey   crypto.Key
+	GroupEpoch uint64
+}
+
+// Marshal encodes the payload deterministically.
+func (p LegacyAuth2Payload) Marshal() []byte {
+	var b builder
+	b.putString(p.Leader)
+	b.putString(p.User)
+	b.bytes = append(b.bytes, p.N1[:]...)
+	b.bytes = append(b.bytes, p.N2[:]...)
+	b.bytes = append(b.bytes, p.SessionKey.Bytes()...)
+	b.bytes = append(b.bytes, p.GroupKey.Bytes()...)
+	b.putUint64(p.GroupEpoch)
+	return b.bytes
+}
+
+// UnmarshalLegacyAuth2 decodes a LegacyAuth2Payload.
+func UnmarshalLegacyAuth2(data []byte) (LegacyAuth2Payload, error) {
+	p := parser{data: data}
+	out := LegacyAuth2Payload{
+		Leader: p.string(),
+		User:   p.string(),
+	}
+	copy(out.N1[:], p.fixed(crypto.NonceSize))
+	copy(out.N2[:], p.fixed(crypto.NonceSize))
+	sessionRaw := p.fixed(crypto.KeySize)
+	groupRaw := p.fixed(crypto.KeySize)
+	out.GroupEpoch = p.uint64()
+	if err := p.finish(); err != nil {
+		return LegacyAuth2Payload{}, fmt.Errorf("%w: legacy auth2: %v", ErrBadPayload, err)
+	}
+	sk, err := crypto.KeyFromBytes(sessionRaw)
+	if err != nil {
+		return LegacyAuth2Payload{}, fmt.Errorf("%w: legacy auth2: %v", ErrBadPayload, err)
+	}
+	gk, err := crypto.KeyFromBytes(groupRaw)
+	if err != nil {
+		return LegacyAuth2Payload{}, fmt.Errorf("%w: legacy auth2: %v", ErrBadPayload, err)
+	}
+	out.SessionKey = sk
+	out.GroupKey = gk
+	return out, nil
+}
+
+// LegacyAuth3Payload is the content of message 3 of the legacy
+// authentication: {N2}_Ka.
+type LegacyAuth3Payload struct {
+	N2 crypto.Nonce
+}
+
+// Marshal encodes the payload deterministically.
+func (p LegacyAuth3Payload) Marshal() []byte {
+	out := make([]byte, crypto.NonceSize)
+	copy(out, p.N2[:])
+	return out
+}
+
+// UnmarshalLegacyAuth3 decodes a LegacyAuth3Payload.
+func UnmarshalLegacyAuth3(data []byte) (LegacyAuth3Payload, error) {
+	p := parser{data: data}
+	var out LegacyAuth3Payload
+	copy(out.N2[:], p.fixed(crypto.NonceSize))
+	if err := p.finish(); err != nil {
+		return LegacyAuth3Payload{}, fmt.Errorf("%w: legacy auth3: %v", ErrBadPayload, err)
+	}
+	return out, nil
+}
+
+// LegacyNewKeyPayload is the content of new_key: {K'g, IV}_Ka. There is no
+// nonce and no epoch check on the receiving side — that is the replay
+// weakness of Section 2.3. The epoch travels for bookkeeping only; the
+// vulnerable legacy member deliberately ignores it for acceptance.
+type LegacyNewKeyPayload struct {
+	GroupKey   crypto.Key
+	GroupEpoch uint64
+}
+
+// Marshal encodes the payload deterministically.
+func (p LegacyNewKeyPayload) Marshal() []byte {
+	var b builder
+	b.bytes = append(b.bytes, p.GroupKey.Bytes()...)
+	b.putUint64(p.GroupEpoch)
+	return b.bytes
+}
+
+// UnmarshalLegacyNewKey decodes a LegacyNewKeyPayload.
+func UnmarshalLegacyNewKey(data []byte) (LegacyNewKeyPayload, error) {
+	p := parser{data: data}
+	raw := p.fixed(crypto.KeySize)
+	epoch := p.uint64()
+	if err := p.finish(); err != nil {
+		return LegacyNewKeyPayload{}, fmt.Errorf("%w: legacy new key: %v", ErrBadPayload, err)
+	}
+	k, err := crypto.KeyFromBytes(raw)
+	if err != nil {
+		return LegacyNewKeyPayload{}, fmt.Errorf("%w: legacy new key: %v", ErrBadPayload, err)
+	}
+	return LegacyNewKeyPayload{GroupKey: k, GroupEpoch: epoch}, nil
+}
+
+// LegacyMemberPayload is the content of mem_removed / mem_added: {A}_Kg —
+// encrypted under the shared group key, hence forgeable by any member
+// (Section 2.3).
+type LegacyMemberPayload struct {
+	Name string
+}
+
+// Marshal encodes the payload deterministically.
+func (p LegacyMemberPayload) Marshal() []byte {
+	var b builder
+	b.putString(p.Name)
+	return b.bytes
+}
+
+// UnmarshalLegacyMember decodes a LegacyMemberPayload.
+func UnmarshalLegacyMember(data []byte) (LegacyMemberPayload, error) {
+	p := parser{data: data}
+	out := LegacyMemberPayload{Name: p.string()}
+	if err := p.finish(); err != nil {
+		return LegacyMemberPayload{}, fmt.Errorf("%w: legacy member: %v", ErrBadPayload, err)
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"testing"
+)
+
+func TestLegacyOpenRoundTrip(t *testing.T) {
+	in := LegacyOpenPayload{From: "alice"}
+	out, err := UnmarshalLegacyOpen(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v", out)
+	}
+}
+
+func TestLegacyAuth2RoundTrip(t *testing.T) {
+	in := LegacyAuth2Payload{
+		Leader: "l", User: "u",
+		N1: mustNonce(t), N2: mustNonce(t),
+		SessionKey: mustKey(t), GroupKey: mustKey(t), GroupEpoch: 5,
+	}
+	out, err := UnmarshalLegacyAuth2(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Leader != in.Leader || out.User != in.User || out.GroupEpoch != in.GroupEpoch ||
+		!out.N1.Equal(in.N1) || !out.N2.Equal(in.N2) ||
+		!out.SessionKey.Equal(in.SessionKey) || !out.GroupKey.Equal(in.GroupKey) {
+		t.Errorf("round trip: got %+v", out)
+	}
+}
+
+func TestLegacyAuth3RoundTrip(t *testing.T) {
+	in := LegacyAuth3Payload{N2: mustNonce(t)}
+	out, err := UnmarshalLegacyAuth3(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.N2.Equal(in.N2) {
+		t.Errorf("round trip: got %+v", out)
+	}
+}
+
+func TestLegacyNewKeyRoundTrip(t *testing.T) {
+	in := LegacyNewKeyPayload{GroupKey: mustKey(t), GroupEpoch: 9}
+	out, err := UnmarshalLegacyNewKey(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.GroupKey.Equal(in.GroupKey) || out.GroupEpoch != in.GroupEpoch {
+		t.Errorf("round trip: got %+v", out)
+	}
+}
+
+func TestLegacyMemberRoundTrip(t *testing.T) {
+	in := LegacyMemberPayload{Name: "bob"}
+	out, err := UnmarshalLegacyMember(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v", out)
+	}
+}
+
+func TestLegacyUnmarshalRejectsGarbage(t *testing.T) {
+	garbage := [][]byte{nil, {1}, make([]byte, 7)}
+	for _, g := range garbage {
+		if _, err := UnmarshalLegacyAuth2(g); err == nil {
+			t.Errorf("LegacyAuth2 accepted %x", g)
+		}
+		if _, err := UnmarshalLegacyAuth3(g); err == nil {
+			t.Errorf("LegacyAuth3 accepted %x", g)
+		}
+		if _, err := UnmarshalLegacyNewKey(g); err == nil {
+			t.Errorf("LegacyNewKey accepted %x", g)
+		}
+		if _, err := UnmarshalLegacyOpen(g); err == nil {
+			t.Errorf("LegacyOpen accepted %x", g)
+		}
+		if _, err := UnmarshalLegacyMember(g); err == nil {
+			t.Errorf("LegacyMember accepted %x", g)
+		}
+	}
+}
+
+func TestLegacyUnmarshalRejectsTrailing(t *testing.T) {
+	in := LegacyNewKeyPayload{GroupKey: mustKey(t), GroupEpoch: 1}
+	if _, err := UnmarshalLegacyNewKey(append(in.Marshal(), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}

@@ -1,0 +1,228 @@
+package wire
+
+import (
+	"fmt"
+
+	"enclaves/internal/crypto"
+)
+
+// This file defines the plaintext payload encodings of the improved
+// protocol (Section 3.2). Identities are encoded INSIDE the encrypted
+// payloads — {A, L, N1}_Pa etc. — exactly as the verified model requires;
+// receivers check them against their own expectations, never against the
+// forgeable envelope header.
+
+// AuthInitPayload is the content of AuthInitReq: {A, L, N1}_Pa.
+type AuthInitPayload struct {
+	User   string
+	Leader string
+	N1     crypto.Nonce
+}
+
+// Marshal encodes the payload deterministically.
+func (p AuthInitPayload) Marshal() []byte {
+	var b builder
+	b.putString(p.User)
+	b.putString(p.Leader)
+	b.bytes = append(b.bytes, p.N1[:]...)
+	return b.bytes
+}
+
+// UnmarshalAuthInit decodes an AuthInitPayload.
+func UnmarshalAuthInit(data []byte) (AuthInitPayload, error) {
+	p := parser{data: data}
+	out := AuthInitPayload{
+		User:   p.string(),
+		Leader: p.string(),
+	}
+	copy(out.N1[:], p.fixed(crypto.NonceSize))
+	if err := p.finish(); err != nil {
+		return AuthInitPayload{}, fmt.Errorf("%w: auth init: %v", ErrBadPayload, err)
+	}
+	return out, nil
+}
+
+// AuthKeyDistPayload is the content of AuthKeyDist:
+// {L, A, N1, N2, Ka}_Pa.
+type AuthKeyDistPayload struct {
+	Leader     string
+	User       string
+	N1         crypto.Nonce
+	N2         crypto.Nonce
+	SessionKey crypto.Key
+}
+
+// Marshal encodes the payload deterministically.
+func (p AuthKeyDistPayload) Marshal() []byte {
+	var b builder
+	b.putString(p.Leader)
+	b.putString(p.User)
+	b.bytes = append(b.bytes, p.N1[:]...)
+	b.bytes = append(b.bytes, p.N2[:]...)
+	b.bytes = append(b.bytes, p.SessionKey.Bytes()...)
+	return b.bytes
+}
+
+// UnmarshalAuthKeyDist decodes an AuthKeyDistPayload.
+func UnmarshalAuthKeyDist(data []byte) (AuthKeyDistPayload, error) {
+	p := parser{data: data}
+	out := AuthKeyDistPayload{
+		Leader: p.string(),
+		User:   p.string(),
+	}
+	copy(out.N1[:], p.fixed(crypto.NonceSize))
+	copy(out.N2[:], p.fixed(crypto.NonceSize))
+	keyRaw := p.fixed(crypto.KeySize)
+	if err := p.finish(); err != nil {
+		return AuthKeyDistPayload{}, fmt.Errorf("%w: key dist: %v", ErrBadPayload, err)
+	}
+	k, err := crypto.KeyFromBytes(keyRaw)
+	if err != nil {
+		return AuthKeyDistPayload{}, fmt.Errorf("%w: key dist: %v", ErrBadPayload, err)
+	}
+	out.SessionKey = k
+	return out, nil
+}
+
+// AckPayload is the shared content shape of AuthAckKey and Ack:
+// {A, L, NPrev, NNext}_Ka. For AuthAckKey, NPrev is the leader's N2 from
+// the key distribution and NNext is the user's fresh N3; for Ack, NPrev is
+// the leader nonce N_{2i+2} of the acknowledged AdminMsg and NNext is the
+// fresh N_{2i+3} (Section 3.2).
+type AckPayload struct {
+	User   string
+	Leader string
+	NPrev  crypto.Nonce
+	NNext  crypto.Nonce
+}
+
+// Marshal encodes the payload deterministically.
+func (p AckPayload) Marshal() []byte {
+	var b builder
+	b.putString(p.User)
+	b.putString(p.Leader)
+	b.bytes = append(b.bytes, p.NPrev[:]...)
+	b.bytes = append(b.bytes, p.NNext[:]...)
+	return b.bytes
+}
+
+// UnmarshalAck decodes an AckPayload.
+func UnmarshalAck(data []byte) (AckPayload, error) {
+	p := parser{data: data}
+	out := AckPayload{
+		User:   p.string(),
+		Leader: p.string(),
+	}
+	copy(out.NPrev[:], p.fixed(crypto.NonceSize))
+	copy(out.NNext[:], p.fixed(crypto.NonceSize))
+	if err := p.finish(); err != nil {
+		return AckPayload{}, fmt.Errorf("%w: ack: %v", ErrBadPayload, err)
+	}
+	return out, nil
+}
+
+// AdminMsgPayload is the content of AdminMsg:
+// {L, A, N_{2i+1}, N_{2i+2}, X}_Ka. The admin body X is the actual
+// group-management message (Section 3.2: "X may specify a new group key and
+// initialization vector, or indicate that a member has joined or left").
+type AdminMsgPayload struct {
+	Leader string
+	User   string
+	NPrev  crypto.Nonce // the member's most recent nonce N_{2i+1}
+	NNext  crypto.Nonce // the leader's fresh nonce N_{2i+2}
+	Seq    uint64       // sequence number within the session, for auditing
+	Body   AdminBody
+}
+
+// Marshal encodes the payload deterministically.
+func (p AdminMsgPayload) Marshal() []byte {
+	var b builder
+	b.putString(p.Leader)
+	b.putString(p.User)
+	b.bytes = append(b.bytes, p.NPrev[:]...)
+	b.bytes = append(b.bytes, p.NNext[:]...)
+	b.putUint64(p.Seq)
+	b.putBytes(MarshalAdminBody(p.Body))
+	return b.bytes
+}
+
+// UnmarshalAdminMsg decodes an AdminMsgPayload.
+func UnmarshalAdminMsg(data []byte) (AdminMsgPayload, error) {
+	p := parser{data: data}
+	out := AdminMsgPayload{
+		Leader: p.string(),
+		User:   p.string(),
+	}
+	copy(out.NPrev[:], p.fixed(crypto.NonceSize))
+	copy(out.NNext[:], p.fixed(crypto.NonceSize))
+	out.Seq = p.uint64()
+	bodyRaw := p.bytes()
+	if err := p.finish(); err != nil {
+		return AdminMsgPayload{}, fmt.Errorf("%w: admin msg: %v", ErrBadPayload, err)
+	}
+	body, err := UnmarshalAdminBody(bodyRaw)
+	if err != nil {
+		return AdminMsgPayload{}, err
+	}
+	out.Body = body
+	return out, nil
+}
+
+// ClosePayload is the content of ReqClose: {A, L}_Ka. At most one close per
+// session key makes the message unreplayable (Section 3.2).
+type ClosePayload struct {
+	User   string
+	Leader string
+}
+
+// Marshal encodes the payload deterministically.
+func (p ClosePayload) Marshal() []byte {
+	var b builder
+	b.putString(p.User)
+	b.putString(p.Leader)
+	return b.bytes
+}
+
+// UnmarshalClose decodes a ClosePayload.
+func UnmarshalClose(data []byte) (ClosePayload, error) {
+	p := parser{data: data}
+	out := ClosePayload{
+		User:   p.string(),
+		Leader: p.string(),
+	}
+	if err := p.finish(); err != nil {
+		return ClosePayload{}, fmt.Errorf("%w: close: %v", ErrBadPayload, err)
+	}
+	return out, nil
+}
+
+// AppDataPayload is application data multicast to the group, encrypted
+// under the group key K_g of the stated epoch.
+type AppDataPayload struct {
+	Sender string
+	Epoch  uint64 // group-key epoch the data is encrypted under
+	Data   []byte
+}
+
+// Marshal encodes the payload deterministically.
+func (p AppDataPayload) Marshal() []byte {
+	var b builder
+	b.putString(p.Sender)
+	b.putUint64(p.Epoch)
+	b.putBytes(p.Data)
+	return b.bytes
+}
+
+// UnmarshalAppData decodes an AppDataPayload.
+func UnmarshalAppData(data []byte) (AppDataPayload, error) {
+	p := parser{data: data}
+	out := AppDataPayload{
+		Sender: p.string(),
+		Epoch:  p.uint64(),
+		Data:   p.bytes(),
+	}
+	if err := p.finish(); err != nil {
+		return AppDataPayload{}, fmt.Errorf("%w: app data: %v", ErrBadPayload, err)
+	}
+	return out, nil
+}

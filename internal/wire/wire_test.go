@@ -1,0 +1,293 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"enclaves/internal/crypto"
+)
+
+func TestEnvelopeEncodeDecodeRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		env  Envelope
+	}{
+		{"basic", Envelope{Type: TypeAuthInitReq, Sender: "alice", Receiver: "leader", Payload: []byte{1, 2, 3}}},
+		{"empty payload", Envelope{Type: TypeReqClose, Sender: "a", Receiver: "l"}},
+		{"empty names", Envelope{Type: TypeAck}},
+		{"binary payload", Envelope{Type: TypeAppData, Sender: "x", Receiver: "y", Payload: bytes.Repeat([]byte{0xFF, 0x00}, 500)}},
+		{"utf8 names", Envelope{Type: TypeAdminMsg, Sender: "ålice", Receiver: "lêader", Payload: []byte("x")}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			data, err := Encode(tt.env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Type != tt.env.Type || got.Sender != tt.env.Sender || got.Receiver != tt.env.Receiver {
+				t.Errorf("header mismatch: got %+v want %+v", got, tt.env)
+			}
+			if !bytes.Equal(got.Payload, tt.env.Payload) {
+				t.Error("payload mismatch")
+			}
+		})
+	}
+}
+
+func TestEncodeRejectsOversize(t *testing.T) {
+	if _, err := Encode(Envelope{Type: TypeAck, Sender: strings.Repeat("x", MaxNameLen+1)}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize sender: err = %v", err)
+	}
+	if _, err := Encode(Envelope{Type: TypeAck, Payload: make([]byte, MaxPayloadLen+1)}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize payload: err = %v", err)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	good, _ := Encode(Envelope{Type: TypeAck, Sender: "a", Receiver: "b", Payload: []byte("xyz")})
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", append([]byte{0x00}, good[1:]...)},
+		{"bad version", append([]byte{magic, 99}, good[2:]...)},
+		{"truncated", good[:len(good)-2]},
+		{"trailing garbage", append(append([]byte(nil), good...), 0xAA)},
+		{"only magic", []byte{magic}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(tt.data); err == nil {
+				t.Error("malformed frame accepted")
+			}
+		})
+	}
+}
+
+func TestHeaderBindsTypeAndEndpoints(t *testing.T) {
+	base := Envelope{Type: TypeAdminMsg, Sender: "L", Receiver: "A"}
+	mutants := []Envelope{
+		{Type: TypeAck, Sender: "L", Receiver: "A"},
+		{Type: TypeAdminMsg, Sender: "E", Receiver: "A"},
+		{Type: TypeAdminMsg, Sender: "L", Receiver: "E"},
+	}
+	for _, m := range mutants {
+		if bytes.Equal(base.Header(), m.Header()) {
+			t.Errorf("headers collide: %v vs %v", base, m)
+		}
+	}
+	// Length-prefixing must prevent concatenation ambiguity.
+	a := Envelope{Type: TypeAck, Sender: "ab", Receiver: "c"}
+	b := Envelope{Type: TypeAck, Sender: "a", Receiver: "bc"}
+	if bytes.Equal(a.Header(), b.Header()) {
+		t.Error("header encoding is ambiguous across field boundaries")
+	}
+}
+
+func TestWriteReadFrame(t *testing.T) {
+	var buf bytes.Buffer
+	envs := []Envelope{
+		{Type: TypeAuthInitReq, Sender: "a", Receiver: "l", Payload: []byte("one")},
+		{Type: TypeAuthKeyDist, Sender: "l", Receiver: "a", Payload: []byte("two")},
+		{Type: TypeReqClose, Sender: "a", Receiver: "l"},
+	}
+	for _, e := range envs {
+		if err := WriteFrame(&buf, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range envs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || !bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("frame %d: got %v want %v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("read from empty stream succeeded")
+	}
+}
+
+func TestReadFrameRejectsHugeLength(t *testing.T) {
+	data := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0x00}
+	if _, err := ReadFrame(bytes.NewReader(data)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("huge frame length: err = %v", err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeAuthInitReq.String() != "AuthInitReq" || TypeMemRemoved.String() != "MemRemoved" {
+		t.Error("type names wrong")
+	}
+	if !strings.Contains(Type(200).String(), "200") {
+		t.Error("unknown type must render its number")
+	}
+}
+
+func mustNonce(t *testing.T) crypto.Nonce {
+	t.Helper()
+	n, err := crypto.NewNonce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func mustKey(t *testing.T) crypto.Key {
+	t.Helper()
+	k, err := crypto.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestAuthInitPayloadRoundTrip(t *testing.T) {
+	in := AuthInitPayload{User: "alice", Leader: "leader", N1: mustNonce(t)}
+	out, err := UnmarshalAuthInit(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.User != in.User || out.Leader != in.Leader || !out.N1.Equal(in.N1) {
+		t.Errorf("round trip: got %+v", out)
+	}
+}
+
+func TestAuthKeyDistPayloadRoundTrip(t *testing.T) {
+	in := AuthKeyDistPayload{Leader: "l", User: "u", N1: mustNonce(t), N2: mustNonce(t), SessionKey: mustKey(t)}
+	out, err := UnmarshalAuthKeyDist(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Leader != in.Leader || out.User != in.User ||
+		!out.N1.Equal(in.N1) || !out.N2.Equal(in.N2) || !out.SessionKey.Equal(in.SessionKey) {
+		t.Errorf("round trip: got %+v", out)
+	}
+}
+
+func TestAckPayloadRoundTrip(t *testing.T) {
+	in := AckPayload{User: "u", Leader: "l", NPrev: mustNonce(t), NNext: mustNonce(t)}
+	out, err := UnmarshalAck(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v want %+v", out, in)
+	}
+}
+
+func TestAdminMsgPayloadRoundTrip(t *testing.T) {
+	bodies := []AdminBody{
+		NewGroupKey{Epoch: 42, Key: mustKey(t)},
+		MemberJoined{Name: "carol"},
+		MemberLeft{Name: "dave"},
+		MemberList{Names: []string{"alice", "bob", "carol"}},
+		MemberList{},
+	}
+	for _, body := range bodies {
+		t.Run(body.AdminKind().String(), func(t *testing.T) {
+			in := AdminMsgPayload{
+				Leader: "l", User: "u",
+				NPrev: mustNonce(t), NNext: mustNonce(t),
+				Seq: 7, Body: body,
+			}
+			out, err := UnmarshalAdminMsg(in.Marshal())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Seq != in.Seq || !out.NPrev.Equal(in.NPrev) || !out.NNext.Equal(in.NNext) {
+				t.Errorf("header round trip: got %+v", out)
+			}
+			if out.Body.String() != body.String() {
+				t.Errorf("body round trip: got %s want %s", out.Body, body)
+			}
+		})
+	}
+}
+
+func TestClosePayloadRoundTrip(t *testing.T) {
+	in := ClosePayload{User: "u", Leader: "l"}
+	out, err := UnmarshalClose(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v", out)
+	}
+}
+
+func TestAppDataPayloadRoundTrip(t *testing.T) {
+	in := AppDataPayload{Sender: "alice", Epoch: 3, Data: []byte("hello group")}
+	out, err := UnmarshalAppData(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sender != in.Sender || out.Epoch != in.Epoch || !bytes.Equal(out.Data, in.Data) {
+		t.Errorf("round trip: got %+v", out)
+	}
+}
+
+func TestPayloadUnmarshalRejectsGarbage(t *testing.T) {
+	garbage := [][]byte{nil, {0}, bytes.Repeat([]byte{0xFF}, 3), bytes.Repeat([]byte{0x01}, 17)}
+	for _, g := range garbage {
+		if _, err := UnmarshalAuthInit(g); err == nil {
+			t.Errorf("AuthInit accepted %x", g)
+		}
+		if _, err := UnmarshalAuthKeyDist(g); err == nil {
+			t.Errorf("AuthKeyDist accepted %x", g)
+		}
+		if _, err := UnmarshalAck(g); err == nil {
+			t.Errorf("Ack accepted %x", g)
+		}
+		if _, err := UnmarshalAdminMsg(g); err == nil {
+			t.Errorf("AdminMsg accepted %x", g)
+		}
+		if _, err := UnmarshalAppData(g); err == nil {
+			t.Errorf("AppData accepted %x", g)
+		}
+	}
+	// Close of zero bytes is malformed too (needs two length prefixes).
+	if _, err := UnmarshalClose(nil); err == nil {
+		t.Error("Close accepted empty input")
+	}
+}
+
+func TestPayloadUnmarshalRejectsTrailingBytes(t *testing.T) {
+	in := AckPayload{User: "u", Leader: "l", NPrev: mustNonce(t), NNext: mustNonce(t)}
+	data := append(in.Marshal(), 0x00)
+	if _, err := UnmarshalAck(data); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestAdminBodyUnknownKind(t *testing.T) {
+	if _, err := UnmarshalAdminBody([]byte{0xEE, 1, 2, 3}); err == nil {
+		t.Error("unknown admin kind accepted")
+	}
+}
+
+func TestMemberListCanonicalOrder(t *testing.T) {
+	a := MarshalAdminBody(MemberList{Names: []string{"b", "a", "c"}})
+	b := MarshalAdminBody(MemberList{Names: []string{"c", "b", "a"}})
+	if !bytes.Equal(a, b) {
+		t.Error("member list encoding not canonical")
+	}
+}
+
+func TestAdminKindStrings(t *testing.T) {
+	if AdminNewGroupKey.String() != "NewGroupKey" || AdminMemberList.String() != "MemberList" {
+		t.Error("admin kind names wrong")
+	}
+	if !strings.Contains(AdminKind(99).String(), "99") {
+		t.Error("unknown admin kind must render its number")
+	}
+}
