@@ -4,11 +4,20 @@
 // Usage:
 //
 //	enclaved -addr 127.0.0.1:7465 -name leader -users users.txt [-rekey join,leave]
+//	         [-heartbeat 2s] [-ack-timeout 10s] [-outbox 1024]
 //
 // The users file holds one "name:password" pair per line; lines starting
 // with # are ignored. Passwords are the long-term secrets from which the
 // per-user keys P_a are derived; in a real deployment distribute them out
 // of band.
+//
+// -heartbeat and -ack-timeout arm the liveness layer: idle members are
+// probed with authenticated heartbeats, and a member that leaves an admin
+// message unacknowledged past the ack timeout is expelled exactly like a
+// leave (on-leave rekey, audit event), closing the forward-secrecy hole a
+// silently dead member would otherwise keep open. -outbox bounds each
+// member's outbound queue; a consumer slow enough to overflow it is
+// likewise expelled. Zero disables the respective mechanism.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"enclaves/internal/crypto"
 	"enclaves/internal/group"
@@ -40,6 +50,9 @@ func run(args []string) error {
 		name      = fs.String("name", "leader", "leader identity")
 		usersPath = fs.String("users", "", "path to users file (name:password per line)")
 		rekeyOn   = fs.String("rekey", "join,leave", "rekey policy: comma-set of {join,leave,none}")
+		heartbeat = fs.Duration("heartbeat", 2*time.Second, "idle-member heartbeat interval (0 disables liveness probing)")
+		ackWait   = fs.Duration("ack-timeout", 10*time.Second, "expel a member whose admin ack is overdue by this much (0 disables)")
+		outbox    = fs.Int("outbox", 1024, "per-member outbound queue bound; overflow expels the member (<0 = unbounded)")
 		verbose   = fs.Bool("v", false, "verbose logging")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -69,6 +82,11 @@ func run(args []string) error {
 		Rekey:   policy,
 		Logf:    logf,
 		OnEvent: onEvent,
+		Liveness: group.Liveness{
+			HeartbeatInterval: *heartbeat,
+			AckTimeout:        *ackWait,
+		},
+		OutboxLimit: *outbox,
 	})
 	if err != nil {
 		return err
@@ -77,8 +95,8 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("enclaved: leader %q serving %d users on %s (rekey on %s)",
-		*name, len(users), l.Addr(), *rekeyOn)
+	log.Printf("enclaved: leader %q serving %d users on %s (rekey on %s, heartbeat %v, ack timeout %v, outbox %d)",
+		*name, len(users), l.Addr(), *rekeyOn, *heartbeat, *ackWait, *outbox)
 
 	// Graceful shutdown on SIGINT/SIGTERM: close the listener and every
 	// member connection, then exit cleanly.

@@ -17,17 +17,29 @@
 // requires the Byzantine machinery the paper cites (Rampart, SecureRing)
 // and is out of scope, exactly as it was for the paper.
 //
+// Act 2 covers the harder failure: a leader that WEDGES instead of
+// crashing. The connection stays open, so no transport error ever fires;
+// only the liveness layer notices. The leader probes idle members with
+// authenticated heartbeats, the member arms a silence watchdog
+// (member.SessionConfig.SilenceTimeout), and when a partition blackholes
+// the link both sides degrade gracefully: the member's Session fails over
+// to the standby on its own, and the wedged leader expels the unreachable
+// member (on-leave rekey + audit event), closing the forward-secrecy hole.
+//
 // Run with:
 //
 //	go run ./examples/failover
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
+	"sync/atomic"
 	"time"
 
 	"enclaves/internal/crypto"
+	"enclaves/internal/faultnet"
 	"enclaves/internal/group"
 	"enclaves/internal/member"
 	"enclaves/internal/transport"
@@ -125,6 +137,124 @@ func run() error {
 			return err
 		}
 	}
+
+	return silentLeaderAct(net, standby, registry)
+}
+
+// silentLeaderAct demonstrates surviving a leader that goes silent without
+// crashing: heartbeats stop arriving, the member's silence watchdog fires,
+// and the auto-rejoining Session moves to the standby with no manual step.
+func silentLeaderAct(net *transport.MemNetwork, standby *group.Leader, registry func(string) map[string]crypto.Key) error {
+	const wedgedName = "leader-3"
+	fmt.Println("\n*** act 2: a fresh primary wedges instead of crashing ***")
+
+	departed := make(chan group.Event, 1)
+	wedged, err := group.NewLeader(group.Config{
+		Name:  wedgedName,
+		Users: registry(wedgedName),
+		Rekey: group.DefaultRekeyPolicy(),
+		// Heartbeat fast so a healthy-but-idle member is clearly alive; the
+		// ack deadline is longer than the member's silence timeout so the
+		// member-side failover observably happens first.
+		Liveness: group.Liveness{
+			HeartbeatInterval: 200 * time.Millisecond,
+			AckTimeout:        2 * time.Second,
+		},
+		// Over this in-memory transport the member's own hang-up reaches the
+		// wedged leader as a connection close (EventLeft); across a REAL
+		// partition no FIN crosses and the ack deadline expels the member
+		// instead (EventEvicted — see TestChaosSoak and the group liveness
+		// tests). Either way the departure fires the on-leave rekey.
+		OnEvent: func(e group.Event) {
+			if (e.Kind == group.EventLeft || e.Kind == group.EventEvicted) && e.User == "alice" {
+				select {
+				case departed <- e:
+				default:
+				}
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer wedged.Close()
+	l, err := net.Listen(wedgedName)
+	if err != nil {
+		return err
+	}
+	go wedged.Serve(l)
+
+	// The first dial reaches the primary through a link that blackholes
+	// after one second — the leader keeps running but nothing crosses the
+	// wire, which is exactly what a wedged or partitioned leader looks
+	// like. Rejoin attempts treat the primary as unreachable.
+	var dials int32
+	primaryEP := member.Endpoint{
+		Leader:   wedgedName,
+		LongTerm: crypto.DeriveKey("alice", wedgedName, "alice-pw"),
+		Dial: func() (transport.Conn, error) {
+			if atomic.AddInt32(&dials, 1) > 1 {
+				return nil, errors.New("wedged primary unreachable")
+			}
+			raw, err := net.Dial(wedgedName)
+			if err != nil {
+				return nil, err
+			}
+			return faultnet.Wrap(raw, faultnet.Plan{
+				Partitions: []faultnet.Partition{{Start: time.Second, Stop: time.Hour}},
+			}), nil
+		},
+	}
+	standbyEP := member.Endpoint{
+		Leader:   standbyName,
+		LongTerm: crypto.DeriveKey("alice", standbyName, "alice-pw"),
+		Dial:     func() (transport.Conn, error) { return net.Dial(standbyName) },
+	}
+	s, err := member.NewSession(member.SessionConfig{
+		User:           "alice",
+		Endpoints:      []member.Endpoint{primaryEP, standbyEP},
+		Backoff:        50 * time.Millisecond,
+		SilenceTimeout: 600 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	go func() {
+		for {
+			if _, err := s.Next(); err != nil {
+				return
+			}
+		}
+	}()
+	fmt.Printf("alice joined %s; heartbeats every 200ms keep the session alive\n", wedgedName)
+
+	// The partition opens at t=1s. No error reaches alice — only silence.
+	deadline := time.Now().Add(15 * time.Second)
+	failedOver := false
+	for time.Now().Before(deadline) {
+		for _, m := range standby.Members() {
+			if m == "alice" {
+				failedOver = true
+			}
+		}
+		if failedOver {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !failedOver {
+		return errors.New("alice never failed over to the standby")
+	}
+	fmt.Println("silence watchdog fired — alice failed over to the standby automatically")
+
+	select {
+	case ev := <-departed:
+		fmt.Printf("wedged primary dropped the unreachable member (%s, epoch %d — keys rotated)\n", ev.Kind, ev.Epoch)
+	case <-time.After(15 * time.Second):
+		return errors.New("wedged primary never dropped alice")
+	}
+	fmt.Println("both halves of the liveness layer held: member found a live leader, leader shed a dead member")
 	return nil
 }
 

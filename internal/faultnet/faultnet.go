@@ -1,0 +1,366 @@
+// Package faultnet is a deterministic fault-injection network for chaos
+// testing the Enclaves runtime. It wraps transport.Conn endpoints with a
+// fault pipeline — frame drops, duplication, reordering, delivery delays,
+// timed partitions, and connection resets — where every probabilistic
+// decision is drawn from a seeded math/rand PRNG, so any chaos run is
+// reproducible from its seed and a failing seed can be replayed exactly.
+//
+// Where transport.Link models a *malicious* Dolev-Yao adversary (arbitrary
+// injection and replay of frames), faultnet models an *unreliable but
+// honest* network: the lossy, reordering, partitioning links the paper
+// assumes in Section 3.1 ("messages can be lost or delayed"). The two
+// compose: the protocol must stay secure under Link and stay live under
+// faultnet.
+package faultnet
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"enclaves/internal/queue"
+	"enclaves/internal/transport"
+	"enclaves/internal/wire"
+)
+
+// DirFaults configures fault injection for one direction of a link.
+// Probabilities are in [0, 1]; zero values inject nothing.
+type DirFaults struct {
+	// Drop is the probability a frame is silently discarded.
+	Drop float64
+	// Dup is the probability a delivered frame is delivered twice.
+	Dup float64
+	// Reorder is the probability a frame is held back and delivered only
+	// after at least one later frame has overtaken it.
+	Reorder float64
+	// HoldMax bounds how many frames may be held for reordering at once;
+	// zero means 4.
+	HoldMax int
+	// DelayMin/DelayMax bound a uniform per-frame head-of-line delay.
+	// Both zero means no delay.
+	DelayMin, DelayMax time.Duration
+	// ResetAfter tears the whole connection down (simulating a peer RST)
+	// after this many frames have entered this direction; zero disables.
+	ResetAfter int
+}
+
+// Partition is a timed bidirectional blackhole: frames in either direction
+// are dropped while the elapsed time since Wrap is in [Start, Stop).
+type Partition struct {
+	Start, Stop time.Duration
+}
+
+// Plan declares the faults of one wrapped connection. The zero value
+// injects nothing (a transparent wrapper).
+type Plan struct {
+	// Seed seeds the PRNG driving every probabilistic decision. Two runs
+	// with the same seed and the same frame sequence make identical
+	// decisions.
+	Seed int64
+	// Outbound faults apply to frames sent by the wrapped endpoint;
+	// Inbound faults apply to frames it receives.
+	Outbound, Inbound DirFaults
+	// Partitions blackhole both directions during their windows.
+	Partitions []Partition
+	// Heal, when positive, stops ALL fault injection once that much time
+	// has elapsed — the chaos window closes and the link behaves cleanly.
+	// Convergence tests use this: inject chaos, heal, assert recovery.
+	Heal time.Duration
+}
+
+// Stats counts what the fault pipeline did to one wrapped connection.
+// Retrieve with Conn.Stats; all fields are totals across both directions.
+type Stats struct {
+	Delivered  uint64
+	Dropped    uint64 // includes partition blackholing
+	Duplicated uint64
+	Reordered  uint64
+	Resets     uint64
+}
+
+// Conn is a fault-injected transport connection.
+type Conn struct {
+	inner transport.Conn
+	plan  Plan
+	start time.Time
+
+	outQ *queue.Queue[wire.Envelope] // Send -> out pump
+	inQ  *queue.Queue[wire.Envelope] // in pump -> Recv
+	raw  *queue.Queue[wire.Envelope] // inner.Recv feeder -> in pump
+
+	delivered, dropped, duplicated, reordered, resets atomic.Uint64
+
+	closeOnce sync.Once
+}
+
+var _ transport.Conn = (*Conn)(nil)
+
+// holdFlushIdle is how long a pump waits with held (reordered) frames and
+// no new input before flushing them anyway, so a held frame cannot be
+// starved forever on a quiet link.
+const holdFlushIdle = 50 * time.Millisecond
+
+// Wrap runs conn behind the fault pipeline described by plan. Frames the
+// endpoint sends pass the Outbound faults before reaching the peer; frames
+// the peer sends pass the Inbound faults before Recv returns them.
+func Wrap(conn transport.Conn, plan Plan) *Conn {
+	c := &Conn{
+		inner: conn,
+		plan:  plan,
+		start: time.Now(),
+		outQ:  queue.New[wire.Envelope](),
+		inQ:   queue.New[wire.Envelope](),
+		raw:   queue.New[wire.Envelope](),
+	}
+	// Each direction gets its own PRNG stream (derived deterministically
+	// from the seed) and its own single pump goroutine, so the decision
+	// sequence per direction depends only on the seed and the frame order.
+	go c.pump(c.outQ, plan.Outbound, rand.New(rand.NewSource(plan.Seed)), func(e wire.Envelope) bool {
+		return c.inner.Send(e) == nil
+	})
+	go c.feedRaw()
+	go c.pump(c.raw, plan.Inbound, rand.New(rand.NewSource(plan.Seed^0x5DEECE66D)), func(e wire.Envelope) bool {
+		return c.inQ.Push(e) == nil
+	})
+	return c
+}
+
+// Pipe returns two connected in-memory endpoints with plan's faults
+// injected on the A side (Outbound = A to B, Inbound = B to A). The B side
+// is a plain clean endpoint.
+func Pipe(plan Plan) (*Conn, transport.Conn) {
+	a, b := transport.Pipe()
+	return Wrap(a, plan), b
+}
+
+// Send queues one envelope for fault-injected transmission.
+func (c *Conn) Send(e wire.Envelope) error {
+	if err := c.outQ.Push(e); err != nil {
+		return transport.ErrClosed
+	}
+	return nil
+}
+
+// Recv returns the next surviving inbound envelope.
+func (c *Conn) Recv() (wire.Envelope, error) {
+	e, err := c.inQ.Pop()
+	if err != nil {
+		return e, transport.ErrClosed
+	}
+	return e, nil
+}
+
+// Close tears down the wrapper and the underlying connection.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.inner.Close()
+		c.outQ.Close()
+		c.raw.Close()
+		c.inQ.Close()
+	})
+	return nil
+}
+
+// Stats returns the fault counters so far.
+func (c *Conn) Stats() Stats {
+	return Stats{
+		Delivered:  c.delivered.Load(),
+		Dropped:    c.dropped.Load(),
+		Duplicated: c.duplicated.Load(),
+		Reordered:  c.reordered.Load(),
+		Resets:     c.resets.Load(),
+	}
+}
+
+// feedRaw moves frames from the underlying connection into the inbound
+// pump's queue, decoupling the pump from the blocking Recv.
+func (c *Conn) feedRaw() {
+	for {
+		e, err := c.inner.Recv()
+		if err != nil {
+			c.raw.Close()
+			return
+		}
+		if c.raw.Push(e) != nil {
+			return
+		}
+	}
+}
+
+// healed reports whether the chaos window has closed.
+func (c *Conn) healed() bool {
+	return c.plan.Heal > 0 && time.Since(c.start) >= c.plan.Heal
+}
+
+// partitioned reports whether a partition window is currently open.
+func (c *Conn) partitioned() bool {
+	elapsed := time.Since(c.start)
+	for _, p := range c.plan.Partitions {
+		if elapsed >= p.Start && elapsed < p.Stop {
+			return true
+		}
+	}
+	return false
+}
+
+// pump applies one direction's faults. It is the only goroutine touching
+// its PRNG, so the decision stream is a pure function of seed and frame
+// order. deliver reports whether the destination is still accepting frames.
+func (c *Conn) pump(src *queue.Queue[wire.Envelope], f DirFaults, rng *rand.Rand, deliver func(wire.Envelope) bool) {
+	holdMax := f.HoldMax
+	if holdMax <= 0 {
+		holdMax = 4
+	}
+	var held []wire.Envelope
+	flushHeld := func() {
+		for _, h := range held {
+			deliver(h)
+			c.delivered.Add(1)
+		}
+		held = held[:0]
+	}
+	// Without reordering nothing is ever held, so the pump can block on
+	// Pop; with reordering it polls so held frames can be flushed after an
+	// idle period instead of starving on a quiet link.
+	next := func() (wire.Envelope, bool) {
+		if f.Reorder <= 0 {
+			e, err := src.Pop()
+			return e, err == nil
+		}
+		idleSince := time.Now()
+		for {
+			if e, ok := src.TryPop(); ok {
+				return e, true
+			}
+			if src.Closed() {
+				var zero wire.Envelope
+				return zero, false
+			}
+			if len(held) > 0 && time.Since(idleSince) > holdFlushIdle {
+				flushHeld()
+				idleSince = time.Now()
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	count := 0
+	for {
+		e, ok := next()
+		if !ok {
+			flushHeld()
+			return
+		}
+		count++
+
+		if c.healed() {
+			flushHeld()
+			if !deliver(e) {
+				return
+			}
+			c.delivered.Add(1)
+			continue
+		}
+		if f.ResetAfter > 0 && count > f.ResetAfter {
+			c.resets.Add(1)
+			c.Close()
+			return
+		}
+		if c.partitioned() {
+			c.dropped.Add(1)
+			continue
+		}
+		// Every frame consumes one PRNG draw per decision in a fixed
+		// order, so later decisions stay aligned across runs regardless of
+		// which earlier branches were taken.
+		drop := rng.Float64() < f.Drop
+		dup := rng.Float64() < f.Dup
+		reorder := rng.Float64() < f.Reorder
+		var delay time.Duration
+		if f.DelayMax > f.DelayMin {
+			delay = f.DelayMin + time.Duration(rng.Int63n(int64(f.DelayMax-f.DelayMin)))
+		} else {
+			delay = f.DelayMin
+		}
+		if drop {
+			c.dropped.Add(1)
+			continue
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if reorder && len(held) < holdMax {
+			c.reordered.Add(1)
+			held = append(held, e)
+			continue
+		}
+		if !deliver(e) {
+			return
+		}
+		c.delivered.Add(1)
+		if dup {
+			deliver(e)
+			c.duplicated.Add(1)
+		}
+		// A delivered frame has overtaken everything held; release them.
+		flushHeld()
+	}
+}
+
+// Network wraps an in-memory network so every dialed connection gets the
+// fault plan, each with its own deterministic seed (base seed + dial
+// index). Dial order therefore determines seeds; keep it deterministic in
+// reproducible tests.
+type Network struct {
+	inner *transport.MemNetwork
+	plan  Plan
+	dials atomic.Int64
+
+	mu    sync.Mutex
+	conns []*Conn
+}
+
+// NewNetwork wraps net with plan-driven fault injection on dialed
+// connections.
+func NewNetwork(net *transport.MemNetwork, plan Plan) *Network {
+	return &Network{inner: net, plan: plan}
+}
+
+// Listen passes through to the underlying network: faults are injected at
+// the dialing side, which covers both directions of the link.
+func (n *Network) Listen(addr string) (transport.Listener, error) {
+	return n.inner.Listen(addr)
+}
+
+// Dial connects through the fault pipeline. The i-th dial uses seed
+// plan.Seed+i, so concurrent sessions see independent but reproducible
+// fault streams.
+func (n *Network) Dial(addr string) (*Conn, error) {
+	raw, err := n.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	p := n.plan
+	p.Seed += n.dials.Add(1) - 1
+	c := Wrap(raw, p)
+	n.mu.Lock()
+	n.conns = append(n.conns, c)
+	n.mu.Unlock()
+	return c, nil
+}
+
+// Stats sums the fault counters across every connection dialed so far.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var total Stats
+	for _, c := range n.conns {
+		s := c.Stats()
+		total.Delivered += s.Delivered
+		total.Dropped += s.Dropped
+		total.Duplicated += s.Duplicated
+		total.Reordered += s.Reordered
+		total.Resets += s.Resets
+	}
+	return total
+}

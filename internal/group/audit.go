@@ -18,6 +18,11 @@ const (
 	EventExpelled
 	EventRekeyed
 	EventRejected
+	// EventEvicted: the liveness layer expelled a member that missed its
+	// ack deadline or overflowed its bounded outbox. Operationally a leave
+	// (the on-leave rekey fires), but distinguishable so operators can tell
+	// failure-driven departures from voluntary ones; Detail names the cause.
+	EventEvicted
 )
 
 func (k EventKind) String() string {
@@ -32,6 +37,8 @@ func (k EventKind) String() string {
 		return "Rekeyed"
 	case EventRejected:
 		return "Rejected"
+	case EventEvicted:
+		return "Evicted"
 	default:
 		return "invalid"
 	}

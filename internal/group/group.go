@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"enclaves/internal/core"
 	"enclaves/internal/crypto"
@@ -57,14 +58,27 @@ type Config struct {
 	// goroutine, in order. Rejected events surface tolerated intrusion
 	// attempts to monitoring.
 	OnEvent func(Event)
+	// Liveness configures heartbeat probing and ack-deadline eviction of
+	// unresponsive members. The zero value disables the failure detector.
+	Liveness Liveness
+	// OutboxLimit bounds each member's outbound queue; a member whose
+	// outbox overflows (slow or stalled consumer) is evicted rather than
+	// allowed to grow leader memory without bound. Zero means the default
+	// of 1024 frames; negative means unbounded (the pre-liveness behavior).
+	OutboxLimit int
 }
+
+// defaultOutboxLimit bounds per-member outbound queues unless overridden.
+const defaultOutboxLimit = 1024
 
 // Leader is a running Enclaves group leader.
 type Leader struct {
-	name  string
-	rekey RekeyPolicy
-	logf  func(string, ...any)
-	audit *auditor
+	name      string
+	rekey     RekeyPolicy
+	logf      func(string, ...any)
+	audit     *auditor
+	liveness  Liveness
+	outboxCap int
 
 	mu       sync.Mutex
 	users    map[string]crypto.Key
@@ -74,16 +88,28 @@ type Leader struct {
 	closed   bool
 	conns    map[transport.Conn]bool // every live connection, accepted or not
 
-	wg sync.WaitGroup
+	stop chan struct{} // closed by Close; ends the liveness loop
+	wg   sync.WaitGroup
 }
 
 // memberConn couples a member's connection with its protocol engine and a
-// writer goroutine, so broadcasting never blocks on a slow member.
+// writer goroutine, so broadcasting never blocks on a slow member. The
+// outbox is bounded: a member too slow to drain it is evicted (see
+// Config.OutboxLimit) instead of growing leader memory without bound.
 type memberConn struct {
 	user   string
 	conn   transport.Conn
 	engine *core.LeaderSession
 	out    *queue.Queue[wire.Envelope]
+
+	// Liveness bookkeeping, guarded by Leader.mu. outstanding is the
+	// AdminMsg awaiting acknowledgment (the engine allows at most one);
+	// sentAt/resentAt time the ack deadline and retransmissions; lastAdmin
+	// is when an AdminMsg last entered the pipeline, pacing heartbeats.
+	outstanding *wire.Envelope
+	sentAt      time.Time
+	resentAt    time.Time
+	lastAdmin   time.Time
 }
 
 // NewLeader creates a leader with the given configuration and generates the
@@ -113,17 +139,31 @@ func NewLeader(cfg Config) (*Leader, error) {
 	if cfg.OnEvent != nil {
 		audit = newAuditor(cfg.OnEvent)
 	}
-	return &Leader{
-		name:     cfg.Name,
-		rekey:    cfg.Rekey,
-		logf:     logf,
-		audit:    audit,
-		users:    users,
-		sessions: make(map[string]*memberConn),
-		conns:    make(map[transport.Conn]bool),
-		groupKey: kg,
-		epoch:    1,
-	}, nil
+	outboxCap := cfg.OutboxLimit
+	if outboxCap == 0 {
+		outboxCap = defaultOutboxLimit
+	} else if outboxCap < 0 {
+		outboxCap = 0 // unbounded
+	}
+	g := &Leader{
+		name:      cfg.Name,
+		rekey:     cfg.Rekey,
+		logf:      logf,
+		audit:     audit,
+		liveness:  cfg.Liveness,
+		outboxCap: outboxCap,
+		users:     users,
+		sessions:  make(map[string]*memberConn),
+		conns:     make(map[transport.Conn]bool),
+		groupKey:  kg,
+		epoch:     1,
+		stop:      make(chan struct{}),
+	}
+	if g.liveness.enabled() {
+		g.wg.Add(1)
+		go g.livenessLoop()
+	}
+	return g, nil
 }
 
 // Name returns the leader's identity.
@@ -197,7 +237,12 @@ func (g *Leader) Serve(l transport.Listener) error {
 // serving.
 func (g *Leader) Close() {
 	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
 	g.closed = true
+	close(g.stop)
 	conns := make([]transport.Conn, 0, len(g.conns))
 	for c := range g.conns {
 		conns = append(conns, c)
@@ -311,7 +356,7 @@ func (g *Leader) serveConn(conn transport.Conn) {
 		user:   engine.User(),
 		conn:   conn,
 		engine: engine,
-		out:    queue.New[wire.Envelope](),
+		out:    queue.NewBounded[wire.Envelope](g.outboxCap),
 	}
 	// Writer goroutine: drains the outbox so broadcasts never block.
 	writerDone := make(chan struct{})
@@ -336,6 +381,7 @@ func (g *Leader) serveConn(conn transport.Conn) {
 	if cur, ok := g.sessions[s.user]; ok && cur == s {
 		delete(g.sessions, s.user)
 		g.departedLocked(s.user)
+		g.audit.emit(Event{Kind: EventLeft, User: s.user, Epoch: g.epoch, Detail: "connection lost"})
 	}
 	g.mu.Unlock()
 	s.out.Close()
@@ -377,6 +423,10 @@ func (g *Leader) handleProtocol(s *memberConn, env wire.Envelope) bool {
 		g.audit.emit(Event{Kind: EventRejected, User: s.user, Epoch: g.epoch, Detail: err.Error()})
 		return false
 	}
+	// The engine accepted the frame, so any outstanding AdminMsg is no
+	// longer awaited (an Ack consumed it; a ReqClose supersedes it). If the
+	// engine drains the next pending body, push below re-records it.
+	s.outstanding = nil
 	if ev.Reply != nil {
 		g.push(s, *ev.Reply)
 	}
@@ -450,10 +500,24 @@ func (g *Leader) sendAdminLocked(s *memberConn, body wire.AdminBody) {
 	}
 }
 
-// push enqueues an envelope on a member's outbox; a closed outbox (member
-// tearing down) is not an error worth surfacing.
+// push enqueues an envelope on a member's outbox, recording AdminMsg
+// liveness state. A full outbox means the member cannot drain frames as
+// fast as the group produces them: the slow-consumer policy evicts it
+// (bounded memory beats unbounded hope). A closed outbox (member tearing
+// down) is not an error worth surfacing.
 func (g *Leader) push(s *memberConn, env wire.Envelope) {
-	if err := s.out.Push(env); err != nil {
+	if env.Type == wire.TypeAdminMsg {
+		now := time.Now()
+		e := env
+		s.outstanding = &e
+		s.sentAt = now
+		s.resentAt = now
+		s.lastAdmin = now
+	}
+	switch err := s.out.Push(env); {
+	case errors.Is(err, queue.ErrFull):
+		g.evictLocked(s, "outbox overflow (slow consumer)")
+	case err != nil:
 		g.logf("group: outbox of %s closed", s.user)
 	}
 }

@@ -1,0 +1,145 @@
+package group
+
+import (
+	"errors"
+	"time"
+
+	"enclaves/internal/queue"
+	"enclaves/internal/wire"
+)
+
+// Liveness configures the leader's failure detector. The paper's model
+// assumes "messages can be lost or delayed" (Section 3.1) but the on-leave
+// rekey — the forward-secrecy mechanism — only fires when the leader learns
+// of a departure. A member that silently dies (crash, partition, half-open
+// TCP) would otherwise stay in the membership forever with its last group
+// key still considered live. This detector closes that hole: it probes idle
+// members with authenticated heartbeats over the verified AdminMsg pipeline
+// and expels any member that leaves an AdminMsg unacknowledged past its
+// deadline, exactly like a voluntary leave (mem_removed + on-leave rekey).
+//
+// The zero value disables all liveness machinery, preserving the purely
+// event-driven behavior the formal model describes.
+type Liveness struct {
+	// HeartbeatInterval is how long a member's admin pipeline may sit idle
+	// before the leader probes it with a wire.Heartbeat admin message.
+	// Because the probe rides the ack-gated pipeline under K_a, the ack is
+	// an authenticated, fresh proof of liveness — an attacker who cannot
+	// forge acks cannot keep a dead member looking alive. Zero disables
+	// probing.
+	HeartbeatInterval time.Duration
+	// AckTimeout is the deadline for acknowledging an outstanding AdminMsg
+	// (heartbeat or otherwise). A member that misses it is evicted: removed
+	// from the membership, announced via MemberLeft, rekeyed per the
+	// on-leave policy, and surfaced as an EventEvicted audit event. Zero
+	// disables eviction.
+	AckTimeout time.Duration
+	// RetransmitInterval is how often the outstanding AdminMsg is resent
+	// while unacknowledged, recovering from a dropped delivery (a duplicate
+	// reaching the member is rejected by its nonce check without state
+	// change, so retransmission is always safe). Zero defaults to
+	// AckTimeout/4; negative disables retransmission.
+	RetransmitInterval time.Duration
+}
+
+// enabled reports whether any liveness machinery is configured.
+func (lv Liveness) enabled() bool {
+	return lv.HeartbeatInterval > 0 || lv.AckTimeout > 0
+}
+
+// retransmitEvery resolves the effective retransmission interval.
+func (lv Liveness) retransmitEvery() time.Duration {
+	if lv.RetransmitInterval < 0 {
+		return 0
+	}
+	if lv.RetransmitInterval == 0 {
+		return lv.AckTimeout / 4
+	}
+	return lv.RetransmitInterval
+}
+
+// tickEvery picks the detector's polling granularity: a quarter of the
+// tightest configured deadline, clamped to [1ms, 1s].
+func (lv Liveness) tickEvery() time.Duration {
+	tightest := time.Duration(0)
+	for _, d := range []time.Duration{lv.HeartbeatInterval, lv.AckTimeout, lv.retransmitEvery()} {
+		if d > 0 && (tightest == 0 || d < tightest) {
+			tightest = d
+		}
+	}
+	tick := tightest / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	return tick
+}
+
+// livenessLoop drives the failure detector until the leader closes.
+func (g *Leader) livenessLoop() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.liveness.tickEvery())
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.livenessTick(time.Now())
+		}
+	}
+}
+
+// livenessTick performs one detector pass: evict deadline violators,
+// retransmit outstanding AdminMsgs, probe idle members.
+func (g *Leader) livenessTick(now time.Time) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return
+	}
+	lv := g.liveness
+	// Collect violators first: eviction mutates g.sessions mid-iteration
+	// (it broadcasts MemberLeft and may cascade into further evictions).
+	var expired []*memberConn
+	for _, s := range g.sessions {
+		switch {
+		case s.outstanding != nil && lv.AckTimeout > 0 && now.Sub(s.sentAt) > lv.AckTimeout:
+			expired = append(expired, s)
+		case s.outstanding != nil:
+			if rt := lv.retransmitEvery(); rt > 0 && now.Sub(s.resentAt) >= rt {
+				s.resentAt = now
+				// Push the identical envelope again; if the outbox is full
+				// or closed the ack deadline will deal with the member.
+				if err := s.out.Push(*s.outstanding); err != nil && !errors.Is(err, queue.ErrFull) && !errors.Is(err, queue.ErrClosed) {
+					g.logf("group: retransmit to %s: %v", s.user, err)
+				}
+			}
+		case lv.HeartbeatInterval > 0 && now.Sub(s.lastAdmin) >= lv.HeartbeatInterval:
+			g.sendAdminLocked(s, wire.Heartbeat{})
+		}
+	}
+	for _, s := range expired {
+		g.evictLocked(s, "ack deadline exceeded")
+	}
+}
+
+// evictLocked expels a member the failure detector (ack deadline) or the
+// slow-consumer policy (outbox overflow) has given up on. The group-level
+// effect is identical to a voluntary leave — MemberLeft broadcast plus the
+// on-leave rekey — so forward secrecy holds against dead members exactly as
+// it does against departed ones.
+func (g *Leader) evictLocked(s *memberConn, detail string) {
+	cur, ok := g.sessions[s.user]
+	if !ok || cur != s {
+		return // already gone (raced with leave/expel/another eviction)
+	}
+	delete(g.sessions, s.user)
+	s.out.Close()
+	s.conn.Close()
+	g.logf("group: evicted %s: %s", s.user, detail)
+	g.departedLocked(s.user)
+	g.audit.emit(Event{Kind: EventEvicted, User: s.user, Epoch: g.epoch, Detail: detail})
+}

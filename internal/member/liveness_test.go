@@ -1,0 +1,146 @@
+package member
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"enclaves/internal/faultnet"
+	"enclaves/internal/transport"
+)
+
+// TestSilenceTimeoutClosesMember: a leader that completes the join and then
+// never sends again (no heartbeats configured) trips the member's silence
+// watchdog, which closes the session with ErrLeaderSilent — distinguishable
+// from a voluntary leave and from a transport failure.
+func TestSilenceTimeoutClosesMember(t *testing.T) {
+	net := transport.NewMemNetwork()
+	defer net.Close()
+	startLeader(t, net, "primary", []string{"alice"}) // no Liveness: silent after join
+
+	conn, err := net.Dial("primary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := JoinOpts(conn, "alice", "primary", endpoint(net, "primary", "alice").LongTerm,
+		Options{SilenceTimeout: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("no EventClosed before deadline")
+		default:
+		}
+		ev, ok := m.TryNext()
+		if !ok {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if ev.Kind != EventClosed {
+			continue
+		}
+		if !errors.Is(ev.Err, ErrLeaderSilent) {
+			t.Fatalf("EventClosed.Err = %v, want ErrLeaderSilent", ev.Err)
+		}
+		return
+	}
+}
+
+// TestSessionSilenceFailsOverToStandby: the leader stays connected but stops
+// talking (here: a faultnet partition blackholes the link after the join).
+// No transport error ever fires — only the silence watchdog can notice — and
+// the Session must fail over to the standby endpoint on its own.
+func TestSessionSilenceFailsOverToStandby(t *testing.T) {
+	net := transport.NewMemNetwork()
+	defer net.Close()
+	startLeader(t, net, "primary", []string{"alice"})
+	standby := startLeader(t, net, "standby", []string{"alice"})
+
+	var dials int32
+	primary := endpoint(net, "primary", "alice")
+	primary.Dial = func() (transport.Conn, error) {
+		if atomic.AddInt32(&dials, 1) > 1 {
+			// After the wedge the primary is treated as gone, so the
+			// rejoin round falls through to the standby.
+			return nil, errors.New("primary unreachable")
+		}
+		raw, err := net.Dial("primary")
+		if err != nil {
+			return nil, err
+		}
+		// The join completes cleanly, then the partition opens and never
+		// closes: a wedged-but-connected leader.
+		return faultnet.Wrap(raw, faultnet.Plan{
+			Seed:       1,
+			Partitions: []faultnet.Partition{{Start: 150 * time.Millisecond, Stop: time.Hour}},
+		}), nil
+	}
+
+	s, err := NewSession(SessionConfig{
+		User:           "alice",
+		Endpoints:      []Endpoint{primary, endpoint(net, "standby", "alice")},
+		Backoff:        10 * time.Millisecond,
+		SilenceTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	go func() {
+		for {
+			if _, err := s.Next(); err != nil {
+				return
+			}
+		}
+	}()
+
+	waitSession(t, "failover to the standby leader", func() bool {
+		ms := standby.Members()
+		return len(ms) == 1 && ms[0] == "alice"
+	})
+	waitSession(t, "session back up", s.Up)
+}
+
+// TestSessionCloseDuringBackoffReturnsPromptly: Close must interrupt the
+// rejoin backoff wait instead of sleeping it out (the wait can reach 32x the
+// base backoff).
+func TestSessionCloseDuringBackoffReturnsPromptly(t *testing.T) {
+	net := transport.NewMemNetwork()
+	defer net.Close()
+	g := startLeader(t, net, "primary", []string{"alice"})
+
+	s, err := NewSession(SessionConfig{
+		User:      "alice",
+		Endpoints: []Endpoint{endpoint(net, "primary", "alice")},
+		Backoff:   2 * time.Second, // long enough that sleeping it out fails the test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			if _, err := s.Next(); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Kill the leader so supervise enters the backoff loop.
+	g.Close()
+	waitSession(t, "session down", func() bool { return !s.Up() })
+	time.Sleep(50 * time.Millisecond) // let supervise reach the backoff wait
+
+	start := time.Now()
+	s.Close()
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Close took %v, want prompt return from backoff wait", elapsed)
+	}
+}

@@ -13,6 +13,7 @@
 package member
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -95,12 +96,32 @@ var ErrNoGroupKey = errors.New("member: no group key yet")
 // ErrLeft is returned by operations after Leave.
 var ErrLeft = errors.New("member: session left")
 
+// ErrLeaderSilent is the EventClosed cause when the leader sent nothing for
+// longer than Options.SilenceTimeout. It is distinguishable from an
+// ordinary connection loss so supervisors (member.Session) know the leader
+// is unresponsive — wedged, partitioned, or dead — and should fail over.
+var ErrLeaderSilent = errors.New("member: leader silent beyond timeout")
+
+// Options tunes a member session beyond the required identity parameters.
+type Options struct {
+	// SilenceTimeout closes the session with ErrLeaderSilent when no frame
+	// arrives from the leader for this long. Pair it with leader-side
+	// heartbeats (group.Liveness.HeartbeatInterval) comfortably shorter
+	// than this timeout, or an idle but healthy leader looks dead. Zero
+	// disables the watchdog.
+	SilenceTimeout time.Duration
+}
+
 // Member is a connected group member.
 type Member struct {
 	name   string
 	leader string
 	conn   transport.Conn
 	engine *core.MemberSession
+
+	silence  time.Duration
+	lastRecv atomic.Int64 // UnixNano of the most recent received frame
+	silenced atomic.Bool  // the watchdog closed the connection
 
 	mu       sync.Mutex
 	groupKey crypto.Key
@@ -117,6 +138,16 @@ type Member struct {
 	view      map[string]bool
 	left      bool
 
+	// lastAdminPayload/lastAck cache the most recently acknowledged
+	// AdminMsg and its ack (under mu). When the leader retransmits an
+	// unacknowledged AdminMsg (its copy of our ack was lost), the engine
+	// rejects the duplicate — the nonce chain already consumed it — but the
+	// runtime re-sends the cached ack, which is idempotent: a leader that
+	// DID see the first ack rejects the second without state change. This
+	// keeps a lost ack from escalating into an ack-deadline eviction.
+	lastAdminPayload []byte
+	lastAck          *wire.Envelope
+
 	events *queue.Queue[Event]
 	done   chan struct{}
 
@@ -127,6 +158,11 @@ type Member struct {
 // authentication, and starts the receive loop. The long-term key is the
 // P_user shared with the leader (crypto.DeriveKey).
 func Join(conn transport.Conn, user, leader string, longTerm crypto.Key) (*Member, error) {
+	return JoinOpts(conn, user, leader, longTerm, Options{})
+}
+
+// JoinOpts is Join with liveness options.
+func JoinOpts(conn transport.Conn, user, leader string, longTerm crypto.Key, opts Options) (*Member, error) {
 	engine, err := core.NewMemberSession(user, leader, longTerm)
 	if err != nil {
 		return nil, err
@@ -134,6 +170,23 @@ func Join(conn transport.Conn, user, leader string, longTerm crypto.Key) (*Membe
 	initReq, err := engine.Start()
 	if err != nil {
 		return nil, err
+	}
+	// The silence timeout also bounds the handshake itself: over a lossy
+	// link a lost join frame would otherwise block Recv below forever,
+	// since the three-message join has no retransmission. Closing the conn
+	// fails the join so a supervisor can redial.
+	hsDone := make(chan struct{})
+	defer close(hsDone)
+	if opts.SilenceTimeout > 0 {
+		go func() {
+			t := time.NewTimer(opts.SilenceTimeout)
+			defer t.Stop()
+			select {
+			case <-hsDone:
+			case <-t.C:
+				conn.Close()
+			}
+		}()
 	}
 	if err := conn.Send(initReq); err != nil {
 		return nil, fmt.Errorf("member: send join: %w", err)
@@ -157,16 +210,48 @@ func Join(conn transport.Conn, user, leader string, longTerm crypto.Key) (*Membe
 	}
 
 	m := &Member{
-		name:   user,
-		leader: leader,
-		conn:   conn,
-		engine: engine,
-		view:   map[string]bool{user: true},
-		events: queue.New[Event](),
-		done:   make(chan struct{}),
+		name:    user,
+		leader:  leader,
+		conn:    conn,
+		engine:  engine,
+		silence: opts.SilenceTimeout,
+		view:    map[string]bool{user: true},
+		events:  queue.New[Event](),
+		done:    make(chan struct{}),
 	}
+	m.lastRecv.Store(time.Now().UnixNano())
 	go m.recvLoop()
+	if m.silence > 0 {
+		go m.silenceWatchdog()
+	}
 	return m, nil
+}
+
+// silenceWatchdog closes the connection when the leader has been silent
+// past the configured timeout, so the receive loop fails distinguishably
+// (ErrLeaderSilent) and a supervisor can rejoin elsewhere. This is the
+// member-side half of the liveness layer: the leader detects dead members
+// via ack deadlines, the member detects a dead leader via silence.
+func (m *Member) silenceWatchdog() {
+	tick := m.silence / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-t.C:
+			last := time.Unix(0, m.lastRecv.Load())
+			if time.Since(last) > m.silence {
+				m.silenced.Store(true)
+				m.conn.Close()
+				return
+			}
+		}
+	}
 }
 
 // Name returns this member's identity.
@@ -306,11 +391,14 @@ func (m *Member) recvLoop() {
 			m.mu.Unlock()
 			if left {
 				err = nil
+			} else if m.silenced.Load() {
+				err = ErrLeaderSilent
 			}
 			m.events.Push(Event{Kind: EventClosed, Err: err})
 			m.events.Close()
 			return
 		}
+		m.lastRecv.Store(time.Now().UnixNano())
 		m.handle(env)
 	}
 }
@@ -333,8 +421,17 @@ func (m *Member) handleAdmin(env wire.Envelope) {
 	m.mu.Lock()
 	ev, err := m.engine.Handle(env)
 	if err != nil {
+		// A duplicate of the last acked AdminMsg means the leader never got
+		// our ack; re-send it. Anything else is junk to tolerate.
+		var resend *wire.Envelope
+		if m.lastAck != nil && bytes.Equal(env.Payload, m.lastAdminPayload) {
+			resend = m.lastAck
+		}
 		m.mu.Unlock()
 		m.rejected.Add(1)
+		if resend != nil {
+			m.conn.Send(*resend)
+		}
 		return
 	}
 	var out Event
@@ -359,6 +456,14 @@ func (m *Member) handleAdmin(env wire.Envelope) {
 			m.view[n] = true
 		}
 		out = Event{Kind: EventJoined, Name: m.name} // our own join completed
+	case wire.Heartbeat:
+		// Liveness probe: the ack sent below is the whole point; no
+		// application event. Receipt already refreshed the silence watchdog.
+	}
+	if ev.Reply != nil {
+		m.lastAdminPayload = append(m.lastAdminPayload[:0], env.Payload...)
+		ack := *ev.Reply
+		m.lastAck = &ack
 	}
 	m.mu.Unlock()
 

@@ -46,6 +46,11 @@ type SessionConfig struct {
 	// ReadyTimeout bounds the wait for the first group key after each
 	// join; zero means 10s.
 	ReadyTimeout time.Duration
+	// SilenceTimeout arms each underlying session's leader-silence
+	// watchdog (Options.SilenceTimeout): a wedged or partitioned leader is
+	// detected without waiting for a transport error, and the session
+	// fails over to the next endpoint automatically. Zero disables it.
+	SilenceTimeout time.Duration
 }
 
 // ErrDown is returned by Session.SendData while no leader is joined.
@@ -65,8 +70,9 @@ type Session struct {
 	current *Member // nil while down
 	closed  bool
 
-	events *queue.Queue[Event]
-	done   chan struct{}
+	events  *queue.Queue[Event]
+	done    chan struct{}
+	closing chan struct{} // closed by Close; cancels backoff waits
 }
 
 // NewSession joins through the first reachable endpoint and starts the
@@ -85,9 +91,10 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		cfg.ReadyTimeout = 10 * time.Second
 	}
 	s := &Session{
-		cfg:    cfg,
-		events: queue.New[Event](),
-		done:   make(chan struct{}),
+		cfg:     cfg,
+		events:  queue.New[Event](),
+		done:    make(chan struct{}),
+		closing: make(chan struct{}),
 	}
 	m, err := s.joinOnce()
 	if err != nil {
@@ -107,7 +114,7 @@ func (s *Session) joinOnce() (*Member, error) {
 			lastErr = err
 			continue
 		}
-		m, err := Join(conn, s.cfg.User, ep.Leader, ep.LongTerm)
+		m, err := JoinOpts(conn, s.cfg.User, ep.Leader, ep.LongTerm, Options{SilenceTimeout: s.cfg.SilenceTimeout})
 		if err != nil {
 			conn.Close()
 			lastErr = err
@@ -144,7 +151,9 @@ func (s *Session) supervise(m *Member) {
 			return
 		}
 
-		// Rejoin rounds with exponential backoff.
+		// Rejoin rounds with exponential backoff. The wait is cancellable:
+		// Close must not block behind a sleep that can reach 32x the base
+		// backoff.
 		backoff := s.cfg.Backoff
 		round := 0
 		for {
@@ -154,7 +163,12 @@ func (s *Session) supervise(m *Member) {
 				s.events.Close()
 				return
 			}
-			time.Sleep(backoff)
+			wait := time.NewTimer(backoff)
+			select {
+			case <-wait.C:
+			case <-s.closing:
+				wait.Stop()
+			}
 			if backoff < 32*s.cfg.Backoff {
 				backoff *= 2
 			}
@@ -250,7 +264,8 @@ func (s *Session) Up() bool {
 	return s.current != nil
 }
 
-// Close leaves the group (if joined) and stops the supervision loop.
+// Close leaves the group (if joined) and stops the supervision loop,
+// interrupting any in-progress rejoin backoff.
 func (s *Session) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -258,6 +273,7 @@ func (s *Session) Close() error {
 		return ErrLeft
 	}
 	s.closed = true
+	close(s.closing)
 	m := s.current
 	s.mu.Unlock()
 

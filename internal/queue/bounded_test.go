@@ -1,0 +1,152 @@
+package queue
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBoundedPushOnFull(t *testing.T) {
+	q := NewBounded[int](3)
+	for i := 0; i < 3; i++ {
+		if err := q.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Push(99); !errors.Is(err, ErrFull) {
+		t.Fatalf("Push on full queue: err = %v, want ErrFull", err)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len after rejected push = %d, want 3", q.Len())
+	}
+	// Draining one slot makes Push succeed again, and FIFO order holds: the
+	// rejected item never entered the queue.
+	if v, err := q.Pop(); err != nil || v != 0 {
+		t.Fatalf("Pop = %d, %v", v, err)
+	}
+	if err := q.Push(3); err != nil {
+		t.Fatalf("Push after drain: %v", err)
+	}
+	for want := 1; want <= 3; want++ {
+		v, err := q.Pop()
+		if err != nil || v != want {
+			t.Fatalf("Pop = %d, %v, want %d", v, err, want)
+		}
+	}
+}
+
+func TestBoundedZeroCapIsUnbounded(t *testing.T) {
+	q := NewBounded[int](0)
+	for i := 0; i < 1000; i++ {
+		if err := q.Push(i); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	if q.Len() != 1000 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestBoundedCloseWhileBlocked(t *testing.T) {
+	q := NewBounded[int](2)
+	errs := make(chan error, 1)
+	go func() {
+		_, err := q.Pop() // blocks: queue empty
+		errs <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("blocked Pop after Close: err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Pop did not unblock on Close")
+	}
+	// Closed wins over full: Push on a closed-and-full queue reports
+	// ErrClosed, not ErrFull.
+	q2 := NewBounded[int](1)
+	q2.Push(1)
+	q2.Close()
+	if err := q2.Push(2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Push on closed full queue: err = %v, want ErrClosed", err)
+	}
+	// Items enqueued before Close still drain.
+	if v, err := q2.Pop(); err != nil || v != 1 {
+		t.Fatalf("Pop = %d, %v", v, err)
+	}
+}
+
+func TestBoundedTryPopRaces(t *testing.T) {
+	q := NewBounded[int](8)
+	const items = 4000
+	var produced, consumed, rejected atomic.Int64
+
+	var pwg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		pwg.Add(1)
+		go func() {
+			defer pwg.Done()
+			for i := 0; i < items/4; i++ {
+				for {
+					err := q.Push(i)
+					if err == nil {
+						produced.Add(1)
+						break
+					}
+					if errors.Is(err, ErrFull) {
+						rejected.Add(1)
+						time.Sleep(time.Microsecond)
+						continue
+					}
+					t.Errorf("push: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	var cwg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				if _, ok := q.TryPop(); ok {
+					consumed.Add(1)
+					continue
+				}
+				select {
+				case <-done:
+					// Final drain after producers stop.
+					for {
+						if _, ok := q.TryPop(); !ok {
+							return
+						}
+						consumed.Add(1)
+					}
+				default:
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+
+	pwg.Wait()
+	close(done)
+	cwg.Wait()
+	if produced.Load() != items {
+		t.Fatalf("produced %d, want %d", produced.Load(), items)
+	}
+	if consumed.Load() != items {
+		t.Fatalf("consumed %d of %d (rejected retries: %d)", consumed.Load(), items, rejected.Load())
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.Len())
+	}
+}

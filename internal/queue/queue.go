@@ -1,7 +1,9 @@
-// Package queue provides an unbounded FIFO with blocking receive and close
-// semantics, shared by the transport layer (whose links mirror the formal
-// model's never-full asynchronous network) and by event delivery to
-// applications.
+// Package queue provides FIFOs with blocking receive and close semantics,
+// shared by the transport layer (whose links mirror the formal model's
+// never-full asynchronous network) and by event delivery to applications.
+// Two variants exist: the unbounded New, and NewBounded whose Push reports
+// overflow so callers can apply a slow-consumer policy (the group layer
+// evicts members whose outbox overflows).
 package queue
 
 import (
@@ -12,27 +14,49 @@ import (
 // ErrClosed is returned by operations on a closed queue.
 var ErrClosed = errors.New("queue: closed")
 
-// Queue is an unbounded FIFO. The zero value is not usable; call New.
+// ErrFull is returned by Push on a bounded queue at capacity. The item is
+// not enqueued; the caller decides the overflow policy (drop, evict the
+// consumer, back-pressure).
+var ErrFull = errors.New("queue: full")
+
+// Queue is a FIFO, unbounded unless built with NewBounded. The zero value
+// is not usable; call New or NewBounded.
 type Queue[T any] struct {
 	mu     sync.Mutex
 	nonEmp *sync.Cond
 	items  []T
+	cap    int // 0 = unbounded
 	closed bool
 }
 
-// New returns an empty queue.
+// New returns an empty unbounded queue.
 func New[T any]() *Queue[T] {
 	q := &Queue[T]{}
 	q.nonEmp = sync.NewCond(&q.mu)
 	return q
 }
 
-// Push appends an item; it fails only on a closed queue.
+// NewBounded returns an empty queue holding at most capacity items; Push at
+// capacity fails with ErrFull instead of blocking, so producers can never
+// be stalled by a slow consumer. A capacity <= 0 means unbounded.
+func NewBounded[T any](capacity int) *Queue[T] {
+	q := New[T]()
+	if capacity > 0 {
+		q.cap = capacity
+	}
+	return q
+}
+
+// Push appends an item; it fails with ErrClosed on a closed queue and with
+// ErrFull on a bounded queue at capacity.
 func (q *Queue[T]) Push(item T) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return ErrClosed
+	}
+	if q.cap > 0 && len(q.items) >= q.cap {
+		return ErrFull
 	}
 	q.items = append(q.items, item)
 	q.nonEmp.Signal()

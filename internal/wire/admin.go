@@ -10,7 +10,7 @@ import (
 
 // AdminBody is a group-management message body — the field X of the
 // AdminMsg exchange (Section 3.2). Concrete bodies: NewGroupKey,
-// MemberJoined, MemberLeft, MemberList.
+// MemberJoined, MemberLeft, MemberList, Heartbeat.
 type AdminBody interface {
 	// AdminKind returns the body's wire tag.
 	AdminKind() AdminKind
@@ -27,6 +27,7 @@ const (
 	AdminMemberJoined
 	AdminMemberLeft
 	AdminMemberList
+	AdminHeartbeat
 )
 
 func (k AdminKind) String() string {
@@ -39,6 +40,8 @@ func (k AdminKind) String() string {
 		return "MemberLeft"
 	case AdminMemberList:
 		return "MemberList"
+	case AdminHeartbeat:
+		return "Heartbeat"
 	default:
 		return fmt.Sprintf("AdminKind(%d)", uint8(k))
 	}
@@ -95,6 +98,18 @@ func (b MemberList) String() string {
 	return "MemberList(" + strings.Join(names, ",") + ")"
 }
 
+// Heartbeat is a liveness probe. It carries no state change — its value is
+// that it rides the ack-gated AdminMsg pipeline under K_a, so the reply the
+// leader gets back is an authenticated, fresh-nonce proof that the member
+// is alive, at no new wire-protocol surface: to the verified protocol a
+// heartbeat is just one more admin message X.
+type Heartbeat struct{}
+
+// AdminKind implements AdminBody.
+func (Heartbeat) AdminKind() AdminKind { return AdminHeartbeat }
+
+func (Heartbeat) String() string { return "Heartbeat()" }
+
 // MarshalAdminBody encodes an admin body with its kind tag.
 func MarshalAdminBody(body AdminBody) []byte {
 	var b builder
@@ -114,6 +129,8 @@ func MarshalAdminBody(body AdminBody) []byte {
 		for _, n := range names {
 			b.putString(n)
 		}
+	case Heartbeat:
+		// No fields: the kind tag is the whole encoding.
 	}
 	return b.bytes
 }
@@ -159,6 +176,11 @@ func UnmarshalAdminBody(data []byte) (AdminBody, error) {
 			return nil, fmt.Errorf("%w: member list: %v", ErrBadPayload, err)
 		}
 		return MemberList{Names: names}, nil
+	case AdminHeartbeat:
+		if err := p.finish(); err != nil {
+			return nil, fmt.Errorf("%w: heartbeat: %v", ErrBadPayload, err)
+		}
+		return Heartbeat{}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown admin kind %d", ErrBadPayload, uint8(kind))
 	}
