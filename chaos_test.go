@@ -14,8 +14,20 @@ import (
 	"enclaves/internal/faultnet"
 	"enclaves/internal/group"
 	"enclaves/internal/member"
+	"enclaves/internal/metrics"
 	"enclaves/internal/transport"
+	"enclaves/internal/wire"
 )
+
+// counterValue reads one counter from the global metrics snapshot.
+func counterValue(t testing.TB, name string) uint64 {
+	t.Helper()
+	v, ok := metrics.Default.Snapshot()[name]
+	if !ok {
+		t.Fatalf("metric %q not registered", name)
+	}
+	return v.(uint64)
+}
 
 // chaosSeedFlag reruns the soak under a specific fault seed:
 //
@@ -50,6 +62,19 @@ func TestChaosSoak(t *testing.T) {
 	)
 	users := append(userNames(survivors), victim)
 	keys := benchKeys(users...)
+
+	// Soak with metrics enabled: the counters must agree with what the audit
+	// log and the victim's wire actually observed (asserted at the end).
+	// Counters are process-lifetime totals, so assertions work on deltas.
+	prevMetrics := metrics.Enabled()
+	metrics.Enable()
+	defer func() {
+		if !prevMetrics {
+			metrics.Disable()
+		}
+	}()
+	evictionsBefore := counterValue(t, "group_evictions_total")
+	retransmitsBefore := counterValue(t, "group_retransmits_total")
 
 	var audit struct {
 		mu     sync.Mutex
@@ -179,10 +204,23 @@ func TestChaosSoak(t *testing.T) {
 	// liveness layer can notice.
 	victimConn := silentJoin(t, inner, leaderName, victim, keys[victim])
 	defer victimConn.Close()
-	go func() { // drain so the leader's writes don't pile up in the pipe
+	// Drain so the leader's writes don't pile up in the pipe, counting
+	// duplicate AdminMsg frames along the way: the victim's link is clean
+	// (no faultnet), so every repeated payload it sees IS a liveness-layer
+	// retransmission of the unacknowledged head frame.
+	var victimDups atomic.Int64
+	go func() {
+		adminSeen := make(map[string]int)
 		for {
-			if _, err := victimConn.Recv(); err != nil {
+			e, err := victimConn.Recv()
+			if err != nil {
 				return
+			}
+			if e.Type == wire.TypeAdminMsg {
+				adminSeen[string(e.Payload)]++
+				if adminSeen[string(e.Payload)] > 1 {
+					victimDups.Add(1)
+				}
 			}
 		}
 	}()
@@ -291,6 +329,45 @@ func TestChaosSoak(t *testing.T) {
 	if s := fnet.Stats(); s.Dropped == 0 || s.Reordered == 0 {
 		t.Fatalf("fault plan injected no faults: %+v", s)
 	}
+
+	// Metrics reconcile with ground truth. Every eviction increments the
+	// counter and emits one EventEvicted on the (async) audit stream, so at
+	// quiescence the delta and the audit count must be equal — survivor
+	// evictions during the chaos window included.
+	auditEvicted := func() uint64 {
+		audit.mu.Lock()
+		defer audit.mu.Unlock()
+		var n uint64
+		for _, e := range audit.events {
+			if e.Kind == group.EventEvicted {
+				n++
+			}
+		}
+		return n
+	}
+	waitUntil(t, "eviction counter to reconcile with audit log", 10*time.Second, func() bool {
+		return counterValue(t, "group_evictions_total")-evictionsBefore == auditEvicted()
+	})
+
+	// The victim's clean link saw the liveness layer at work: at least one
+	// duplicate AdminMsg frame (the retransmitted unacked head), and every
+	// such duplicate is accounted for by the retransmit counter. (The counter
+	// may exceed the victim's duplicates — survivors behind lossy links are
+	// retransmitted to as well.)
+	dups := uint64(victimDups.Load())
+	retransmits := counterValue(t, "group_retransmits_total") - retransmitsBefore
+	if dups == 0 {
+		t.Fatal("victim observed no duplicate AdminMsg frames; retransmission never reached the wire")
+	}
+	if retransmits < dups {
+		t.Fatalf("retransmit counter %d < %d duplicate frames observed on the victim's clean link", retransmits, dups)
+	}
+	t.Logf("soak metrics: evictions=%d (== %d audit events) retransmits=%d victim_dups=%d heartbeats=%d rejoins=%d faultnet_dropped=%d",
+		counterValue(t, "group_evictions_total")-evictionsBefore, auditEvicted(),
+		retransmits, dups,
+		counterValue(t, "group_heartbeats_total"),
+		counterValue(t, "member_rejoins_total"),
+		counterValue(t, "faultnet_dropped_total"))
 }
 
 // silentJoin completes the three-message authenticated join with the core

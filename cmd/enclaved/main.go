@@ -4,7 +4,7 @@
 // Usage:
 //
 //	enclaved -addr 127.0.0.1:7465 -name leader -users users.txt [-rekey join,leave]
-//	         [-heartbeat 2s] [-ack-timeout 10s] [-outbox 1024]
+//	         [-heartbeat 2s] [-ack-timeout 10s] [-outbox 1024] [-metrics-addr 127.0.0.1:9465]
 //
 // The users file holds one "name:password" pair per line; lines starting
 // with # are ignored. Passwords are the long-term secrets from which the
@@ -18,6 +18,14 @@
 // silently dead member would otherwise keep open. -outbox bounds each
 // member's outbound queue; a consumer slow enough to overflow it is
 // likewise expelled. Zero disables the respective mechanism.
+//
+// -metrics-addr enables metrics collection and serves an operations
+// endpoint on the given address: GET /metrics returns a flat JSON snapshot
+// of every counter, gauge, and latency histogram in the runtime
+// (join/rekey/ack rates, retransmissions, evictions, wire traffic, queue
+// pressure), and /debug/pprof/ exposes the standard Go profiler. Bind it to
+// a loopback or otherwise private address — the endpoint is unauthenticated
+// by design, like expvar.
 package main
 
 import (
@@ -25,6 +33,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -33,7 +44,14 @@ import (
 
 	"enclaves/internal/crypto"
 	"enclaves/internal/group"
+	"enclaves/internal/metrics"
 	"enclaves/internal/transport"
+
+	// Blank imports register the remaining layers' instruments, so the
+	// /metrics snapshot always enumerates the full schema (zero-valued
+	// until used) and dashboards can rely on key presence.
+	_ "enclaves/internal/faultnet"
+	_ "enclaves/internal/member"
 )
 
 func main() {
@@ -46,14 +64,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("enclaved", flag.ContinueOnError)
 	var (
-		addr      = fs.String("addr", "127.0.0.1:7465", "TCP listen address")
-		name      = fs.String("name", "leader", "leader identity")
-		usersPath = fs.String("users", "", "path to users file (name:password per line)")
-		rekeyOn   = fs.String("rekey", "join,leave", "rekey policy: comma-set of {join,leave,none}")
-		heartbeat = fs.Duration("heartbeat", 2*time.Second, "idle-member heartbeat interval (0 disables liveness probing)")
-		ackWait   = fs.Duration("ack-timeout", 10*time.Second, "expel a member whose admin ack is overdue by this much (0 disables)")
-		outbox    = fs.Int("outbox", 1024, "per-member outbound queue bound; overflow expels the member (<0 = unbounded)")
-		verbose   = fs.Bool("v", false, "verbose logging")
+		addr        = fs.String("addr", "127.0.0.1:7465", "TCP listen address")
+		name        = fs.String("name", "leader", "leader identity")
+		usersPath   = fs.String("users", "", "path to users file (name:password per line)")
+		rekeyOn     = fs.String("rekey", "join,leave", "rekey policy: comma-set of {join,leave,none}")
+		heartbeat   = fs.Duration("heartbeat", 2*time.Second, "idle-member heartbeat interval (0 disables liveness probing)")
+		ackWait     = fs.Duration("ack-timeout", 10*time.Second, "expel a member whose admin ack is overdue by this much (0 disables)")
+		outbox      = fs.Int("outbox", 1024, "per-member outbound queue bound; overflow expels the member (<0 = unbounded)")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics (JSON snapshot) and /debug/pprof on this address (empty disables collection)")
+		verbose     = fs.Bool("v", false, "verbose logging")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +114,16 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *metricsAddr != "" {
+		srv, maddr, err := startMetricsServer(*metricsAddr)
+		if err != nil {
+			l.Close()
+			leader.Close()
+			return err
+		}
+		defer srv.Close()
+		log.Printf("enclaved: metrics on http://%s/metrics, pprof on http://%s/debug/pprof/", maddr, maddr)
+	}
 	log.Printf("enclaved: leader %q serving %d users on %s (rekey on %s, heartbeat %v, ack timeout %v, outbox %d)",
 		*name, len(users), l.Addr(), *rekeyOn, *heartbeat, *ackWait, *outbox)
 
@@ -109,6 +138,28 @@ func run(args []string) error {
 		leader.Close()
 	}()
 	return leader.Serve(l)
+}
+
+// startMetricsServer enables metrics collection and serves the snapshot
+// endpoint plus the Go profiler on addr, returning the bound address (which
+// resolves ":0" for tests). The default ServeMux is deliberately avoided so
+// nothing else in the process can leak handlers onto this listener.
+func startMetricsServer(addr string) (*http.Server, string, error) {
+	metrics.Enable()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
 }
 
 // loadUsers parses the "name:password" users file into long-term keys.

@@ -1,10 +1,76 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
+
+// TestMetricsServer boots the -metrics-addr endpoint and asserts the
+// operational contract: a JSON snapshot enumerating the instruments of
+// every layer, and a live pprof index.
+func TestMetricsServer(t *testing.T) {
+	srv, addr, err := startMetricsServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics is not JSON: %v\n%s", err, body)
+	}
+	if len(snap) < 12 {
+		t.Fatalf("snapshot has %d instruments, want >= 12: %v", len(snap), snap)
+	}
+	// Every instrumented layer must be represented.
+	for _, prefix := range []string{"group_", "member_", "transport_", "faultnet_", "queue_"} {
+		found := false
+		for name := range snap {
+			if strings.HasPrefix(name, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %s* instrument in snapshot", prefix)
+		}
+	}
+	// Histograms serialize as objects with quantile fields.
+	hist, ok := snap["group_ack_latency_us"].(map[string]any)
+	if !ok {
+		t.Fatalf("group_ack_latency_us = %T, want object", snap["group_ack_latency_us"])
+	}
+	if _, ok := hist["p99_us"]; !ok {
+		t.Errorf("histogram snapshot missing p99_us: %v", hist)
+	}
+
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pprofBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(pprofBody), "goroutine") {
+		t.Errorf("pprof index does not list profiles")
+	}
+}
 
 func TestLoadUsers(t *testing.T) {
 	dir := t.TempDir()

@@ -101,6 +101,12 @@ func (l *LeaderSession) PendingAdmin() int { return len(l.pending) }
 // accepted and until close.
 func (l *LeaderSession) SessionKey() crypto.Key { return l.sessionKey }
 
+// SentSeq returns the sequence number of the most recently emitted AdminMsg
+// (zero before the first). Immediately after Send or a Handle that drained a
+// Reply, this identifies the envelope just emitted, letting callers key
+// retransmit tracking to the acknowledgment's AckedSeq.
+func (l *LeaderSession) SentSeq() uint64 { return l.sentSeq }
+
 // Handle feeds one received envelope to the engine. On rejection the engine
 // state is unchanged and a typed error is returned.
 func (l *LeaderSession) Handle(env wire.Envelope) (LeaderEvent, error) {

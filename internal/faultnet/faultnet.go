@@ -19,9 +19,21 @@ import (
 	"sync/atomic"
 	"time"
 
+	"enclaves/internal/metrics"
 	"enclaves/internal/queue"
 	"enclaves/internal/transport"
 	"enclaves/internal/wire"
+)
+
+// Process-wide totals across every fault-injected connection, mirroring the
+// per-conn Stats so a metrics snapshot shows how much chaos a run injected
+// without walking the connection list.
+var (
+	mDelivered  = metrics.NewCounter("faultnet_delivered_total")
+	mDropped    = metrics.NewCounter("faultnet_dropped_total")
+	mDuplicated = metrics.NewCounter("faultnet_duplicated_total")
+	mReordered  = metrics.NewCounter("faultnet_reordered_total")
+	mResets     = metrics.NewCounter("faultnet_resets_total")
 )
 
 // DirFaults configures fault injection for one direction of a link.
@@ -217,6 +229,7 @@ func (c *Conn) pump(src *queue.Queue[wire.Envelope], f DirFaults, rng *rand.Rand
 		for _, h := range held {
 			deliver(h)
 			c.delivered.Add(1)
+			mDelivered.Inc()
 		}
 		held = held[:0]
 	}
@@ -259,15 +272,18 @@ func (c *Conn) pump(src *queue.Queue[wire.Envelope], f DirFaults, rng *rand.Rand
 				return
 			}
 			c.delivered.Add(1)
+			mDelivered.Inc()
 			continue
 		}
 		if f.ResetAfter > 0 && count > f.ResetAfter {
 			c.resets.Add(1)
+			mResets.Inc()
 			c.Close()
 			return
 		}
 		if c.partitioned() {
 			c.dropped.Add(1)
+			mDropped.Inc()
 			continue
 		}
 		// Every frame consumes one PRNG draw per decision in a fixed
@@ -284,6 +300,7 @@ func (c *Conn) pump(src *queue.Queue[wire.Envelope], f DirFaults, rng *rand.Rand
 		}
 		if drop {
 			c.dropped.Add(1)
+			mDropped.Inc()
 			continue
 		}
 		if delay > 0 {
@@ -291,6 +308,7 @@ func (c *Conn) pump(src *queue.Queue[wire.Envelope], f DirFaults, rng *rand.Rand
 		}
 		if reorder && len(held) < holdMax {
 			c.reordered.Add(1)
+			mReordered.Inc()
 			held = append(held, e)
 			continue
 		}
@@ -298,9 +316,11 @@ func (c *Conn) pump(src *queue.Queue[wire.Envelope], f DirFaults, rng *rand.Rand
 			return
 		}
 		c.delivered.Add(1)
+		mDelivered.Inc()
 		if dup {
 			deliver(e)
 			c.duplicated.Add(1)
+			mDuplicated.Inc()
 		}
 		// A delivered frame has overtaken everything held; release them.
 		flushHeld()

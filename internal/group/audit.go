@@ -2,6 +2,7 @@ package group
 
 import (
 	"fmt"
+	"sync"
 
 	"enclaves/internal/queue"
 )
@@ -46,6 +47,12 @@ func (k EventKind) String() string {
 
 // Event is one leader audit record.
 type Event struct {
+	// Seq is a per-leader monotonic trace ID assigned at emission: event N
+	// was emitted before event N+1, and delivery order equals Seq order.
+	// Correlate with the member-side member.Event.Seq (the AdminMsg
+	// pipeline sequence) to follow one broadcast leader -> member across
+	// logs.
+	Seq  uint64
 	Kind EventKind
 	// User is the member concerned (empty for Rekeyed).
 	User string
@@ -56,7 +63,7 @@ type Event struct {
 }
 
 func (e Event) String() string {
-	s := fmt.Sprintf("%s user=%q epoch=%d", e.Kind, e.User, e.Epoch)
+	s := fmt.Sprintf("#%d %s user=%q epoch=%d", e.Seq, e.Kind, e.User, e.Epoch)
 	if e.Detail != "" {
 		s += " (" + e.Detail + ")"
 	}
@@ -68,6 +75,11 @@ func (e Event) String() string {
 type auditor struct {
 	q    *queue.Queue[Event]
 	done chan struct{}
+
+	// mu serializes Seq assignment with the enqueue, so Seq order and
+	// delivery order agree even when two goroutines emit concurrently.
+	mu  sync.Mutex
+	seq uint64
 }
 
 func newAuditor(sink func(Event)) *auditor {
@@ -88,13 +100,18 @@ func newAuditor(sink func(Event)) *auditor {
 	return a
 }
 
-// emit enqueues an event; drops are impossible (unbounded queue) and a
-// closed auditor (leader shutting down) ignores late events.
+// emit assigns the next trace ID and enqueues the event; drops are
+// impossible (unbounded queue) and a closed auditor (leader shutting down)
+// ignores late events.
 func (a *auditor) emit(ev Event) {
 	if a == nil {
 		return
 	}
+	a.mu.Lock()
+	a.seq++
+	ev.Seq = a.seq
 	_ = a.q.Push(ev)
+	a.mu.Unlock()
 }
 
 // stop drains pending events and waits for the dispatcher to exit.

@@ -97,19 +97,69 @@ type Leader struct {
 // outbox is bounded: a member too slow to drain it is evicted (see
 // Config.OutboxLimit) instead of growing leader memory without bound.
 type memberConn struct {
-	user   string
-	conn   transport.Conn
-	engine *core.LeaderSession
-	out    *queue.Queue[wire.Envelope]
+	user string
+	conn transport.Conn
+	out  *queue.Queue[outFrame]
 
-	// Liveness bookkeeping, guarded by Leader.mu. outstanding is the
-	// AdminMsg awaiting acknowledgment (the engine allows at most one);
-	// sentAt/resentAt time the ack deadline and retransmissions; lastAdmin
-	// is when an AdminMsg last entered the pipeline, pacing heartbeats.
-	outstanding *wire.Envelope
-	sentAt      time.Time
-	resentAt    time.Time
-	lastAdmin   time.Time
+	// mu guards the protocol engine and the retransmit bookkeeping below,
+	// so AEAD sealing and ack handling contend per member instead of on
+	// Leader.mu. Lock order: Leader.mu may be held when taking mu; never
+	// acquire Leader.mu while holding mu.
+	mu     sync.Mutex
+	engine *core.LeaderSession
+	// unacked is the FIFO of emitted-but-unacknowledged AdminMsgs, keyed by
+	// engine sequence so acknowledgments retire exactly the frames they
+	// cover. The engine emits at most one AdminMsg at a time, but the FIFO
+	// keeps retransmit tracking correct by construction rather than by that
+	// invariant. lastAdmin is when admin traffic last entered the pipeline,
+	// pacing heartbeats.
+	unacked   []unackedAdmin
+	lastAdmin time.Time
+}
+
+// outFrame is one element of a member's outbox: either a pre-sealed frame
+// forwarded verbatim (AppData relay, retransmissions, engine-drained
+// replies) or an admin body (sealed == false) that the member's writer
+// goroutine seals into an AdminMsg outside the global lock — broadcasts
+// under Leader.mu only enqueue, which is why the lock-hold time per
+// broadcast is O(members) queue pushes rather than O(members) AEAD seals.
+type outFrame struct {
+	env    wire.Envelope
+	body   wire.AdminBody
+	sealed bool
+}
+
+// unackedAdmin is one emitted AdminMsg awaiting acknowledgment: sentAt
+// times the ack deadline and the ack-latency histogram, resentAt paces
+// retransmission of the FIFO head.
+type unackedAdmin struct {
+	env      wire.Envelope
+	seq      uint64
+	sentAt   time.Time
+	resentAt time.Time
+}
+
+// trackLocked appends one just-emitted AdminMsg to the unacked FIFO; the
+// caller holds s.mu and the engine's SentSeq still identifies env.
+func (s *memberConn) trackLocked(env wire.Envelope, now time.Time) {
+	s.unacked = append(s.unacked, unackedAdmin{
+		env: env, seq: s.engine.SentSeq(), sentAt: now, resentAt: now,
+	})
+	s.lastAdmin = now
+	mAdminSent.Inc()
+}
+
+// ackLocked retires every unacked AdminMsg up to and including seq,
+// observing the ack round trip. Seq-matched popping — rather than clearing
+// tracking wholesale on any accepted frame — means an acknowledgment can
+// never erase the retransmit state of a frame it does not cover.
+func (s *memberConn) ackLocked(seq uint64, now time.Time) {
+	for len(s.unacked) > 0 && s.unacked[0].seq <= seq {
+		mAckLatency.Observe(now.Sub(s.unacked[0].sentAt))
+		mAdminAcked.Inc()
+		s.unacked[0] = unackedAdmin{}
+		s.unacked = s.unacked[1:]
+	}
 }
 
 // NewLeader creates a leader with the given configuration and generates the
@@ -278,6 +328,7 @@ func (g *Leader) rekeyLocked() error {
 	g.groupKey = kg
 	g.epoch++
 	g.logf("group: rekey to epoch %d", g.epoch)
+	mRekeys.Inc()
 	g.audit.emit(Event{Kind: EventRekeyed, Epoch: g.epoch})
 	g.broadcastAdminLocked(wire.NewGroupKey{Epoch: g.epoch, Key: kg}, "")
 	return nil
@@ -294,6 +345,8 @@ func (g *Leader) Expel(user string) error {
 		return fmt.Errorf("group: %q is not a member", user)
 	}
 	delete(g.sessions, user)
+	mExpels.Inc()
+	mMembers.Add(-1)
 	g.departedLocked(user)
 	g.mu.Unlock()
 
@@ -356,16 +409,22 @@ func (g *Leader) serveConn(conn transport.Conn) {
 		user:   engine.User(),
 		conn:   conn,
 		engine: engine,
-		out:    queue.NewBounded[wire.Envelope](g.outboxCap),
+		out:    queue.NewBounded[outFrame](g.outboxCap),
 	}
-	// Writer goroutine: drains the outbox so broadcasts never block.
+	// Writer goroutine: drains the outbox so broadcasts never block, and
+	// seals admin bodies here — outside Leader.mu — so a slow AEAD or a
+	// slow member never holds up the whole group.
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		for {
-			env, err := s.out.Pop()
+			f, err := s.out.Pop()
 			if err != nil {
 				return
+			}
+			env, ok := g.sealFrame(s, f)
+			if !ok {
+				continue
 			}
 			if err := s.conn.Send(env); err != nil {
 				return
@@ -380,6 +439,8 @@ func (g *Leader) serveConn(conn transport.Conn) {
 	g.mu.Lock()
 	if cur, ok := g.sessions[s.user]; ok && cur == s {
 		delete(g.sessions, s.user)
+		mLeaves.Inc()
+		mMembers.Add(-1)
 		g.departedLocked(s.user)
 		g.audit.emit(Event{Kind: EventLeft, User: s.user, Epoch: g.epoch, Detail: "connection lost"})
 	}
@@ -410,31 +471,64 @@ func (g *Leader) readLoop(s *memberConn) {
 }
 
 // handleProtocol feeds a protocol frame to the member's engine under the
-// group lock. It returns true when the session has closed.
+// member's own lock, then applies group-level consequences (acceptance,
+// departure, eviction) under the group lock. It returns true when the
+// session has closed.
 func (g *Leader) handleProtocol(s *memberConn, env wire.Envelope) bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-
+	now := time.Now()
+	s.mu.Lock()
 	ev, err := s.engine.Handle(env)
 	if err != nil {
+		s.mu.Unlock()
 		// Rejected frame (replay, forgery, wrong state): log and drop; the
 		// session stays healthy. This is the intrusion tolerance in action.
 		g.logf("group: rejected %s from %s: %v", env.Type, s.user, err)
-		g.audit.emit(Event{Kind: EventRejected, User: s.user, Epoch: g.epoch, Detail: err.Error()})
+		mRejected.Inc()
+		g.audit.emit(Event{Kind: EventRejected, User: s.user, Epoch: g.Epoch(), Detail: err.Error()})
 		return false
 	}
-	// The engine accepted the frame, so any outstanding AdminMsg is no
-	// longer awaited (an Ack consumed it; a ReqClose supersedes it). If the
-	// engine drains the next pending body, push below re-records it.
-	s.outstanding = nil
+	if ev.Acked {
+		s.ackLocked(ev.AckedSeq, now)
+	}
+	if ev.Closed {
+		s.unacked = nil
+	}
+	overflow := false
 	if ev.Reply != nil {
-		g.push(s, *ev.Reply)
+		// The engine drained the next queued admin body into a pre-sealed
+		// AdminMsg (or emitted the AuthKeyDist during the handshake).
+		// Retransmit tracking records it only once the enqueue succeeds, so
+		// a full or closed outbox leaves no phantom liveness state behind.
+		switch err := s.out.Push(outFrame{env: *ev.Reply, sealed: true}); {
+		case err == nil:
+			if ev.Reply.Type == wire.TypeAdminMsg {
+				s.trackLocked(*ev.Reply, now)
+			}
+			mOutboxDepth.Set(int64(s.out.Len()))
+		case errors.Is(err, queue.ErrFull):
+			overflow = true
+		default:
+			g.logf("group: outbox of %s closed", s.user)
+		}
+	}
+	s.mu.Unlock()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if overflow {
+		mOverflow.Inc()
+		g.evictLocked(s, "outbox overflow (slow consumer)")
+		return false
 	}
 	if ev.Accepted {
 		g.acceptLocked(s)
 	}
 	if ev.Closed {
-		delete(g.sessions, s.user)
+		if cur, ok := g.sessions[s.user]; ok && cur == s {
+			delete(g.sessions, s.user)
+			mLeaves.Inc()
+			mMembers.Add(-1)
+		}
 		g.departedLocked(s.user)
 		g.logf("group: %s left", s.user)
 		g.audit.emit(Event{Kind: EventLeft, User: s.user, Epoch: g.epoch})
@@ -443,11 +537,37 @@ func (g *Leader) handleProtocol(s *memberConn, env wire.Envelope) bool {
 	return false
 }
 
+// sealFrame resolves one outbox element into a wire frame. Pre-sealed
+// frames pass through; admin bodies go through the member's engine, which
+// seals an AdminMsg when the ack-gated pipeline is free and queues the
+// body internally otherwise (nothing to transmit yet).
+func (g *Leader) sealFrame(s *memberConn, f outFrame) (wire.Envelope, bool) {
+	if f.sealed {
+		return f.env, true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	env, err := s.engine.Send(f.body)
+	if err != nil {
+		g.logf("group: admin to %s: %v", s.user, err)
+		return wire.Envelope{}, false
+	}
+	if env == nil {
+		return wire.Envelope{}, false // queued behind the outstanding AdminMsg
+	}
+	mSealLatency.Observe(time.Since(start))
+	s.trackLocked(*env, start)
+	return *env, true
+}
+
 // acceptLocked finishes a successful join: register the member, inform the
 // group, and distribute keys per policy.
 func (g *Leader) acceptLocked(s *memberConn) {
 	g.sessions[s.user] = s
 	g.logf("group: %s joined (members: %v)", s.user, g.membersLocked())
+	mJoins.Inc()
+	mMembers.Add(1)
 	g.audit.emit(Event{Kind: EventJoined, User: s.user, Epoch: g.epoch})
 
 	// Inform the rest of the group first, then bring the new member up to
@@ -479,45 +599,36 @@ func (g *Leader) departedLocked(user string) {
 }
 
 // broadcastAdminLocked queues an admin body for every member except skip.
+// Only the enqueues happen under Leader.mu — each member's writer seals its
+// own AdminMsg outside the lock — so the hold time measured here is the
+// fan-out cost, not members × AEAD.
 func (g *Leader) broadcastAdminLocked(body wire.AdminBody, skip string) {
+	start := time.Now()
 	for user, s := range g.sessions {
 		if user == skip {
 			continue
 		}
 		g.sendAdminLocked(s, body)
 	}
+	mBroadcastHold.Observe(time.Since(start))
 }
 
-// sendAdminLocked pushes an admin body into one member's verified pipeline.
+// sendAdminLocked queues an admin body on one member's outbox for the
+// writer goroutine to seal. Heartbeat pacing advances only when the
+// enqueue succeeds; a full outbox evicts per the slow-consumer policy
+// (bounded memory beats unbounded hope), and a closed outbox (member
+// tearing down) is not an error worth surfacing.
 func (g *Leader) sendAdminLocked(s *memberConn, body wire.AdminBody) {
-	env, err := s.engine.Send(body)
-	if err != nil {
-		g.logf("group: admin to %s: %v", s.user, err)
-		return
-	}
-	if env != nil {
-		g.push(s, *env)
-	}
-}
-
-// push enqueues an envelope on a member's outbox, recording AdminMsg
-// liveness state. A full outbox means the member cannot drain frames as
-// fast as the group produces them: the slow-consumer policy evicts it
-// (bounded memory beats unbounded hope). A closed outbox (member tearing
-// down) is not an error worth surfacing.
-func (g *Leader) push(s *memberConn, env wire.Envelope) {
-	if env.Type == wire.TypeAdminMsg {
-		now := time.Now()
-		e := env
-		s.outstanding = &e
-		s.sentAt = now
-		s.resentAt = now
-		s.lastAdmin = now
-	}
-	switch err := s.out.Push(env); {
+	switch err := s.out.Push(outFrame{body: body}); {
+	case err == nil:
+		s.mu.Lock()
+		s.lastAdmin = time.Now()
+		s.mu.Unlock()
+		mOutboxDepth.Set(int64(s.out.Len()))
 	case errors.Is(err, queue.ErrFull):
+		mOverflow.Inc()
 		g.evictLocked(s, "outbox overflow (slow consumer)")
-	case err != nil:
+	default:
 		g.logf("group: outbox of %s closed", s.user)
 	}
 }
@@ -525,18 +636,40 @@ func (g *Leader) push(s *memberConn, env wire.Envelope) {
 // relay forwards application data from one member to all others, unchanged.
 // The leader does not need to decrypt: confidentiality is end-to-end under
 // the group key (the leader holds K_g anyway, but relaying verbatim keeps
-// the AEAD header binding intact for receivers).
+// the AEAD header binding intact for receivers). The fan-out runs off
+// Leader.mu — outboxes carry their own locks and AppData needs no engine
+// work — so relays from different members proceed concurrently.
 func (g *Leader) relay(from *memberConn, env wire.Envelope) {
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	if _, accepted := g.sessions[from.user]; !accepted {
+		g.mu.Unlock()
 		g.logf("group: app data from non-member %s dropped", from.user)
 		return
 	}
+	targets := make([]*memberConn, 0, len(g.sessions))
 	for user, s := range g.sessions {
 		if user == from.user {
 			continue
 		}
-		g.push(s, env)
+		targets = append(targets, s)
+	}
+	g.mu.Unlock()
+
+	var overflowed []*memberConn
+	for _, s := range targets {
+		switch err := s.out.Push(outFrame{env: env, sealed: true}); {
+		case errors.Is(err, queue.ErrFull):
+			mOverflow.Inc()
+			overflowed = append(overflowed, s)
+		case err != nil:
+			g.logf("group: outbox of %s closed", s.user)
+		}
+	}
+	if len(overflowed) > 0 {
+		g.mu.Lock()
+		for _, s := range overflowed {
+			g.evictLocked(s, "outbox overflow (slow consumer)")
+		}
+		g.mu.Unlock()
 	}
 }

@@ -93,36 +93,58 @@ func (g *Leader) livenessLoop() {
 }
 
 // livenessTick performs one detector pass: evict deadline violators,
-// retransmit outstanding AdminMsgs, probe idle members.
+// retransmit the head of each unacked FIFO, probe idle members. Per-member
+// bookkeeping runs under each member's own lock against a snapshot of the
+// membership; evictions — which mutate the membership and broadcast — are
+// collected and applied under the group lock afterwards.
 func (g *Leader) livenessTick(now time.Time) {
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	if g.closed {
+		g.mu.Unlock()
 		return
 	}
-	lv := g.liveness
-	// Collect violators first: eviction mutates g.sessions mid-iteration
-	// (it broadcasts MemberLeft and may cascade into further evictions).
-	var expired []*memberConn
+	sessions := make([]*memberConn, 0, len(g.sessions))
 	for _, s := range g.sessions {
+		sessions = append(sessions, s)
+	}
+	g.mu.Unlock()
+
+	lv := g.liveness
+	var expired []*memberConn
+	for _, s := range sessions {
+		s.mu.Lock()
 		switch {
-		case s.outstanding != nil && lv.AckTimeout > 0 && now.Sub(s.sentAt) > lv.AckTimeout:
+		case len(s.unacked) > 0 && lv.AckTimeout > 0 && now.Sub(s.unacked[0].sentAt) > lv.AckTimeout:
 			expired = append(expired, s)
-		case s.outstanding != nil:
-			if rt := lv.retransmitEvery(); rt > 0 && now.Sub(s.resentAt) >= rt {
-				s.resentAt = now
-				// Push the identical envelope again; if the outbox is full
-				// or closed the ack deadline will deal with the member.
-				if err := s.out.Push(*s.outstanding); err != nil && !errors.Is(err, queue.ErrFull) && !errors.Is(err, queue.ErrClosed) {
+		case len(s.unacked) > 0:
+			if rt := lv.retransmitEvery(); rt > 0 && now.Sub(s.unacked[0].resentAt) >= rt {
+				// Re-push the identical head envelope; a duplicate reaching
+				// the member is re-acked by its nonce cache without state
+				// change, so retransmission is always safe. The pacing stamp
+				// advances only when the enqueue succeeds — a full outbox
+				// retries next tick until the ack deadline decides.
+				switch err := s.out.Push(outFrame{env: s.unacked[0].env, sealed: true}); {
+				case err == nil:
+					s.unacked[0].resentAt = now
+					mRetransmits.Inc()
+				case !errors.Is(err, queue.ErrFull) && !errors.Is(err, queue.ErrClosed):
 					g.logf("group: retransmit to %s: %v", s.user, err)
 				}
 			}
 		case lv.HeartbeatInterval > 0 && now.Sub(s.lastAdmin) >= lv.HeartbeatInterval:
-			g.sendAdminLocked(s, wire.Heartbeat{})
+			if s.out.Push(outFrame{body: wire.Heartbeat{}}) == nil {
+				s.lastAdmin = now
+				mHeartbeats.Inc()
+			}
 		}
+		s.mu.Unlock()
 	}
-	for _, s := range expired {
-		g.evictLocked(s, "ack deadline exceeded")
+	if len(expired) > 0 {
+		g.mu.Lock()
+		for _, s := range expired {
+			g.evictLocked(s, "ack deadline exceeded")
+		}
+		g.mu.Unlock()
 	}
 }
 
@@ -137,6 +159,8 @@ func (g *Leader) evictLocked(s *memberConn, detail string) {
 		return // already gone (raced with leave/expel/another eviction)
 	}
 	delete(g.sessions, s.user)
+	mEvictions.Inc()
+	mMembers.Add(-1)
 	s.out.Close()
 	s.conn.Close()
 	g.logf("group: evicted %s: %s", s.user, detail)

@@ -1,0 +1,38 @@
+package group
+
+import "enclaves/internal/metrics"
+
+// Leader-side instruments. Counters are lifetime totals across every Leader
+// in the process; tests therefore assert on deltas, not absolutes. The
+// naming follows the layer_event_total convention used by the other
+// packages so the flat snapshot groups naturally.
+var (
+	mJoins     = metrics.NewCounter("group_joins_total")
+	mLeaves    = metrics.NewCounter("group_leaves_total")
+	mExpels    = metrics.NewCounter("group_expels_total")
+	mEvictions = metrics.NewCounter("group_evictions_total")
+	mRekeys    = metrics.NewCounter("group_rekeys_total")
+	mRejected  = metrics.NewCounter("group_rejected_total")
+
+	mAdminSent   = metrics.NewCounter("group_admin_sent_total")
+	mAdminAcked  = metrics.NewCounter("group_admin_acked_total")
+	mRetransmits = metrics.NewCounter("group_retransmits_total")
+	mHeartbeats  = metrics.NewCounter("group_heartbeats_total")
+	mOverflow    = metrics.NewCounter("group_outbox_overflow_total")
+
+	// mMembers is the live accepted-member count (summed across leaders);
+	// mOutboxDepth samples the depth of whichever outbox was pushed to most
+	// recently — a cheap congestion indicator, not an aggregate.
+	mMembers     = metrics.NewGauge("group_members")
+	mOutboxDepth = metrics.NewGauge("group_outbox_depth")
+
+	// mAckLatency times AdminMsg seal -> authenticated ack, the round trip
+	// that gates the whole pipeline. mBroadcastHold times how long an admin
+	// broadcast holds the global leader lock — the contention a broadcast
+	// imposes on every other member's progress. Sealing now happens in the
+	// per-member writer, so this measures pure enqueue fan-out.
+	mAckLatency    = metrics.NewHistogram("group_ack_latency_us")
+	mBroadcastHold = metrics.NewHistogram("group_broadcast_hold_us")
+	// mSealLatency times one per-member AEAD seal in the writer goroutine.
+	mSealLatency = metrics.NewHistogram("group_seal_latency_us")
+)

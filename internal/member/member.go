@@ -71,6 +71,11 @@ type Event struct {
 	From  string // sender for Data
 	Data  []byte // payload for Data
 	Err   error  // cause for Closed
+	// Seq, for events driven by a group-management message, is the
+	// AdminMsg's leader-assigned pipeline sequence number — the trace ID
+	// that correlates this member-side event with the leader's audit log
+	// for the same broadcast. Zero for non-admin events (Data, Closed).
+	Seq uint64
 }
 
 func (e Event) String() string {
@@ -247,6 +252,7 @@ func (m *Member) silenceWatchdog() {
 			last := time.Unix(0, m.lastRecv.Load())
 			if time.Since(last) > m.silence {
 				m.silenced.Store(true)
+				mWatchdogTrips.Inc()
 				m.conn.Close()
 				return
 			}
@@ -315,6 +321,13 @@ func (m *Member) WaitReady(timeout time.Duration) error {
 // stale-epoch traffic — the observable footprint of tolerated intrusion
 // attempts.
 func (m *Member) Rejected() uint64 { return m.rejected.Load() }
+
+// reject records one rejected frame, both per member and in the global
+// snapshot.
+func (m *Member) reject() {
+	m.rejected.Add(1)
+	mRejected.Inc()
+}
 
 // Next blocks until the next event (or EventClosed).
 func (m *Member) Next() (Event, error) {
@@ -411,7 +424,7 @@ func (m *Member) handle(env wire.Envelope) {
 	case wire.TypeAppData:
 		m.handleAppData(env)
 	default:
-		m.rejected.Add(1)
+		m.reject()
 	}
 }
 
@@ -428,8 +441,9 @@ func (m *Member) handleAdmin(env wire.Envelope) {
 			resend = m.lastAck
 		}
 		m.mu.Unlock()
-		m.rejected.Add(1)
+		m.reject()
 		if resend != nil {
+			mReacks.Inc()
 			m.conn.Send(*resend)
 		}
 		return
@@ -473,7 +487,9 @@ func (m *Member) handleAdmin(env wire.Envelope) {
 		}
 	}
 	if out.Kind != 0 {
+		out.Seq = ev.Seq
 		m.events.Push(out)
+		mEvents.Inc()
 	}
 }
 
@@ -486,7 +502,7 @@ func (m *Member) handleAppData(env wire.Envelope) {
 	prevKey, prevEpoch := m.prevKey, m.prevEpoch
 	m.mu.Unlock()
 	if !key.Valid() {
-		m.rejected.Add(1)
+		m.reject()
 		return
 	}
 	// Try the current key first, then the one-epoch grace key for traffic
@@ -498,13 +514,14 @@ func (m *Member) handleAppData(env wire.Envelope) {
 		wantEpoch = prevEpoch
 	}
 	if err != nil {
-		m.rejected.Add(1)
+		m.reject()
 		return
 	}
 	p, err := wire.UnmarshalAppData(plain)
 	if err != nil || p.Epoch != wantEpoch {
-		m.rejected.Add(1)
+		m.reject()
 		return
 	}
 	m.events.Push(Event{Kind: EventData, From: p.Sender, Epoch: p.Epoch, Data: p.Data})
+	mEvents.Inc()
 }

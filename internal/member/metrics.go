@@ -1,0 +1,16 @@
+package member
+
+import "enclaves/internal/metrics"
+
+// Member-side instruments, totals across every Member/Session in the
+// process. mRejected mirrors the per-member Rejected() counter into the
+// global snapshot; the rest cover the liveness machinery: watchdog trips
+// (leader declared silent), re-acks (duplicate AdminMsg answered from the
+// ack cache), and rejoin attempts by the auto-rejoin supervisor.
+var (
+	mEvents        = metrics.NewCounter("member_events_total")
+	mRejected      = metrics.NewCounter("member_rejected_total")
+	mWatchdogTrips = metrics.NewCounter("member_watchdog_trips_total")
+	mReacks        = metrics.NewCounter("member_reacks_total")
+	mRejoins       = metrics.NewCounter("member_rejoins_total")
+)

@@ -180,6 +180,7 @@ func (s *Session) supervise(m *Member) {
 				s.events.Close()
 				return
 			}
+			mRejoins.Inc()
 			next, err := s.joinOnce()
 			if err != nil {
 				continue

@@ -9,6 +9,17 @@ package queue
 import (
 	"errors"
 	"sync"
+
+	"enclaves/internal/metrics"
+)
+
+// Process-wide queue instruments: every FIFO in the runtime (outboxes,
+// event streams, transport pipes, audit) counts into these, so a snapshot
+// shows aggregate queue pressure at a glance.
+var (
+	mPushes = metrics.NewCounter("queue_pushes_total")
+	mPops   = metrics.NewCounter("queue_pops_total")
+	mFull   = metrics.NewCounter("queue_full_total")
 )
 
 // ErrClosed is returned by operations on a closed queue.
@@ -56,9 +67,11 @@ func (q *Queue[T]) Push(item T) error {
 		return ErrClosed
 	}
 	if q.cap > 0 && len(q.items) >= q.cap {
+		mFull.Inc()
 		return ErrFull
 	}
 	q.items = append(q.items, item)
+	mPushes.Inc()
 	q.nonEmp.Signal()
 	return nil
 }
@@ -78,6 +91,7 @@ func (q *Queue[T]) Pop() (T, error) {
 	item := q.items[0]
 	q.items[0] = zero // release for GC
 	q.items = q.items[1:]
+	mPops.Inc()
 	return item, nil
 }
 
@@ -93,6 +107,7 @@ func (q *Queue[T]) TryPop() (item T, ok bool) {
 	item = q.items[0]
 	q.items[0] = zero
 	q.items = q.items[1:]
+	mPops.Inc()
 	return item, true
 }
 

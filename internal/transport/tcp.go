@@ -47,13 +47,21 @@ func (c *tcpConn) Send(e wire.Envelope) error {
 	if err := wire.WriteFrame(c.w, e); err != nil {
 		return err
 	}
-	return c.w.Flush()
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	countSend(e)
+	return nil
 }
 
 func (c *tcpConn) Recv() (wire.Envelope, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
-	return wire.ReadFrame(c.r)
+	e, err := wire.ReadFrame(c.r)
+	if err == nil {
+		countRecv(e)
+	}
+	return e, err
 }
 
 func (c *tcpConn) Close() error {

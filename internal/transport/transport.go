@@ -12,9 +12,30 @@ import (
 	"errors"
 	"sync"
 
+	"enclaves/internal/metrics"
 	"enclaves/internal/queue"
 	"enclaves/internal/wire"
 )
+
+// Transport-wide instruments, shared by the in-memory pipe and the TCP
+// adapter so a snapshot reports total wire traffic regardless of medium.
+// Bytes count ciphertext payloads, the dominant term of frame size.
+var (
+	mFramesSent = metrics.NewCounter("transport_frames_sent_total")
+	mFramesRecv = metrics.NewCounter("transport_frames_recv_total")
+	mBytesSent  = metrics.NewCounter("transport_bytes_sent_total")
+	mBytesRecv  = metrics.NewCounter("transport_bytes_recv_total")
+)
+
+func countSend(e wire.Envelope) {
+	mFramesSent.Inc()
+	mBytesSent.Add(uint64(len(e.Payload)))
+}
+
+func countRecv(e wire.Envelope) {
+	mFramesRecv.Inc()
+	mBytesRecv.Add(uint64(len(e.Payload)))
+}
 
 // ErrClosed is returned by operations on a closed connection or listener.
 var ErrClosed = errors.New("transport: closed")
@@ -67,11 +88,19 @@ func Pipe() (Conn, Conn) {
 }
 
 func (c *pipeConn) Send(e wire.Envelope) error {
-	return translatePushErr(c.peer.Push(e))
+	if err := translatePushErr(c.peer.Push(e)); err != nil {
+		return err
+	}
+	countSend(e)
+	return nil
 }
 
 func (c *pipeConn) Recv() (wire.Envelope, error) {
-	return translateErr(c.recv.Pop())
+	e, err := translateErr(c.recv.Pop())
+	if err == nil {
+		countRecv(e)
+	}
+	return e, err
 }
 
 func (c *pipeConn) Close() error {
