@@ -58,12 +58,13 @@ type LeaderEvent struct {
 type LeaderSession struct {
 	leader   string
 	user     string
-	longTerm crypto.Key
+	longTerm *crypto.Cipher // cached AEAD under P_user
 
 	phase       LeaderPhase
 	sessionKey  crypto.Key
-	myNonce     crypto.Nonce // N_l: our fresh nonce awaiting acknowledgment
-	memberNonce crypto.Nonce // N_a: the member's latest nonce
+	session     *crypto.Cipher // cached AEAD under K_a; nil outside a session
+	myNonce     crypto.Nonce   // N_l: our fresh nonce awaiting acknowledgment
+	memberNonce crypto.Nonce   // N_a: the member's latest nonce
 
 	pending []wire.AdminBody // admin bodies queued behind the outstanding one
 	seq     uint64           // sequence of the next AdminMsg
@@ -71,7 +72,9 @@ type LeaderSession struct {
 }
 
 // NewLeaderSession returns a leader-side engine for the given user,
-// authenticated by the shared long-term key P_user.
+// authenticated by the shared long-term key P_user. The AEAD key schedules
+// for P_user (and later K_a) are built once here and cached, so per-message
+// sealing pays only the AEAD operation itself.
 func NewLeaderSession(leader, user string, longTerm crypto.Key) (*LeaderSession, error) {
 	if user == "" || leader == "" {
 		return nil, fmt.Errorf("core: user and leader names must be non-empty")
@@ -79,10 +82,14 @@ func NewLeaderSession(leader, user string, longTerm crypto.Key) (*LeaderSession,
 	if !longTerm.Valid() {
 		return nil, fmt.Errorf("core: invalid long-term key")
 	}
+	lt, err := crypto.NewCipher(longTerm)
+	if err != nil {
+		return nil, err
+	}
 	return &LeaderSession{
 		leader:   leader,
 		user:     user,
-		longTerm: longTerm,
+		longTerm: lt,
 		phase:    LeaderIdle,
 	}, nil
 }
@@ -130,7 +137,7 @@ func (l *LeaderSession) handleInitReq(env wire.Envelope) (LeaderEvent, error) {
 	if l.phase != LeaderIdle {
 		return LeaderEvent{}, fmt.Errorf("%w: AuthInitReq in phase %s", ErrState, l.phase)
 	}
-	plain, err := crypto.Open(l.longTerm, env.Payload, env.Header())
+	plain, err := l.longTerm.Open(env.Payload, env.Header())
 	if err != nil {
 		return LeaderEvent{}, fmt.Errorf("%w: init req: %v", ErrAuth, err)
 	}
@@ -146,19 +153,24 @@ func (l *LeaderSession) handleInitReq(env wire.Envelope) (LeaderEvent, error) {
 	if err != nil {
 		return LeaderEvent{}, err
 	}
+	session, err := crypto.NewCipher(ka)
+	if err != nil {
+		return LeaderEvent{}, err
+	}
 	n2, err := crypto.NewNonce()
 	if err != nil {
 		return LeaderEvent{}, err
 	}
 	reply := wire.Envelope{Type: wire.TypeAuthKeyDist, Sender: l.leader, Receiver: l.user}
 	dist := wire.AuthKeyDistPayload{Leader: l.leader, User: l.user, N1: p.N1, N2: n2, SessionKey: ka}
-	box, err := crypto.Seal(l.longTerm, dist.Marshal(), reply.Header())
+	box, err := l.longTerm.Seal(dist.Marshal(), reply.Header())
 	if err != nil {
 		return LeaderEvent{}, err
 	}
 	reply.Payload = box
 
 	l.sessionKey = ka
+	l.session = session
 	l.myNonce = n2
 	l.phase = LeaderWaitingForKeyAck
 	return LeaderEvent{Reply: &reply}, nil
@@ -210,7 +222,7 @@ func (l *LeaderSession) handleAck(env wire.Envelope) (LeaderEvent, error) {
 
 // openAck decrypts and validates the shared ack shape {A, L, N, N'}_Ka.
 func (l *LeaderSession) openAck(env wire.Envelope) (wire.AckPayload, error) {
-	plain, err := crypto.Open(l.sessionKey, env.Payload, env.Header())
+	plain, err := l.session.Open(env.Payload, env.Header())
 	if err != nil {
 		return wire.AckPayload{}, fmt.Errorf("%w: ack: %v", ErrAuth, err)
 	}
@@ -231,7 +243,7 @@ func (l *LeaderSession) handleClose(env wire.Envelope) (LeaderEvent, error) {
 	if l.phase == LeaderIdle || l.phase == LeaderClosed {
 		return LeaderEvent{}, fmt.Errorf("%w: ReqClose in phase %s", ErrState, l.phase)
 	}
-	plain, err := crypto.Open(l.sessionKey, env.Payload, env.Header())
+	plain, err := l.session.Open(env.Payload, env.Header())
 	if err != nil {
 		return LeaderEvent{}, fmt.Errorf("%w: close: %v", ErrAuth, err)
 	}
@@ -244,6 +256,7 @@ func (l *LeaderSession) handleClose(env wire.Envelope) (LeaderEvent, error) {
 	}
 	l.phase = LeaderClosed
 	l.sessionKey.Zero()
+	l.session = nil
 	l.pending = nil
 	return LeaderEvent{Closed: true}, nil
 }
@@ -298,7 +311,7 @@ func (l *LeaderSession) emitAdmin(body wire.AdminBody) (*wire.Envelope, error) {
 		Seq:    l.seq,
 		Body:   body,
 	}
-	box, err := crypto.Seal(l.sessionKey, p.Marshal(), env.Header())
+	box, err := l.session.Seal(p.Marshal(), env.Header())
 	if err != nil {
 		return nil, err
 	}

@@ -50,18 +50,20 @@ type MemberEvent struct {
 type MemberSession struct {
 	user     string
 	leader   string
-	longTerm crypto.Key
+	longTerm *crypto.Cipher // cached AEAD under P_user
 
 	phase      MemberPhase
 	n1         crypto.Nonce // nonce of the outstanding AuthInitReq
 	myNonce    crypto.Nonce // N_{2i+1}: the member's latest fresh nonce
 	sessionKey crypto.Key
+	session    *crypto.Cipher // cached AEAD under K_a; nil outside a session
 
 	accepted uint64 // count of admin messages accepted this session
 }
 
 // NewMemberSession returns a member engine for the given user, using the
-// long-term key P_user shared with the leader (see crypto.DeriveKey).
+// long-term key P_user shared with the leader (see crypto.DeriveKey). As on
+// the leader side, the AEAD key schedules are precomputed once per key.
 func NewMemberSession(user, leader string, longTerm crypto.Key) (*MemberSession, error) {
 	if user == "" || leader == "" {
 		return nil, fmt.Errorf("core: user and leader names must be non-empty")
@@ -69,10 +71,14 @@ func NewMemberSession(user, leader string, longTerm crypto.Key) (*MemberSession,
 	if !longTerm.Valid() {
 		return nil, fmt.Errorf("core: invalid long-term key")
 	}
+	lt, err := crypto.NewCipher(longTerm)
+	if err != nil {
+		return nil, err
+	}
 	return &MemberSession{
 		user:     user,
 		leader:   leader,
-		longTerm: longTerm,
+		longTerm: lt,
 		phase:    MemberNotConnected,
 	}, nil
 }
@@ -106,7 +112,7 @@ func (m *MemberSession) Start() (wire.Envelope, error) {
 	}
 	env := wire.Envelope{Type: wire.TypeAuthInitReq, Sender: m.user, Receiver: m.leader}
 	payload := wire.AuthInitPayload{User: m.user, Leader: m.leader, N1: n1}
-	box, err := crypto.Seal(m.longTerm, payload.Marshal(), env.Header())
+	box, err := m.longTerm.Seal(payload.Marshal(), env.Header())
 	if err != nil {
 		return wire.Envelope{}, err
 	}
@@ -136,7 +142,7 @@ func (m *MemberSession) handleKeyDist(env wire.Envelope) (MemberEvent, error) {
 	if m.phase != MemberWaitingForKey {
 		return MemberEvent{}, fmt.Errorf("%w: AuthKeyDist in phase %s", ErrState, m.phase)
 	}
-	plain, err := crypto.Open(m.longTerm, env.Payload, env.Header())
+	plain, err := m.longTerm.Open(env.Payload, env.Header())
 	if err != nil {
 		return MemberEvent{}, fmt.Errorf("%w: key dist: %v", ErrAuth, err)
 	}
@@ -151,19 +157,24 @@ func (m *MemberSession) handleKeyDist(env wire.Envelope) (MemberEvent, error) {
 		return MemberEvent{}, fmt.Errorf("%w: key dist does not echo our N1", ErrFreshness)
 	}
 
+	session, err := crypto.NewCipher(p.SessionKey)
+	if err != nil {
+		return MemberEvent{}, err
+	}
 	n3, err := crypto.NewNonce()
 	if err != nil {
 		return MemberEvent{}, err
 	}
 	reply := wire.Envelope{Type: wire.TypeAuthAckKey, Sender: m.user, Receiver: m.leader}
 	ack := wire.AckPayload{User: m.user, Leader: m.leader, NPrev: p.N2, NNext: n3}
-	box, err := crypto.Seal(p.SessionKey, ack.Marshal(), reply.Header())
+	box, err := session.Seal(ack.Marshal(), reply.Header())
 	if err != nil {
 		return MemberEvent{}, err
 	}
 	reply.Payload = box
 
 	m.sessionKey = p.SessionKey
+	m.session = session
 	m.myNonce = n3
 	m.phase = MemberConnected
 	m.accepted = 0
@@ -177,7 +188,7 @@ func (m *MemberSession) handleAdmin(env wire.Envelope) (MemberEvent, error) {
 	if m.phase != MemberConnected {
 		return MemberEvent{}, fmt.Errorf("%w: AdminMsg in phase %s", ErrState, m.phase)
 	}
-	plain, err := crypto.Open(m.sessionKey, env.Payload, env.Header())
+	plain, err := m.session.Open(env.Payload, env.Header())
 	if err != nil {
 		return MemberEvent{}, fmt.Errorf("%w: admin msg: %v", ErrAuth, err)
 	}
@@ -201,7 +212,7 @@ func (m *MemberSession) handleAdmin(env wire.Envelope) (MemberEvent, error) {
 	}
 	reply := wire.Envelope{Type: wire.TypeAck, Sender: m.user, Receiver: m.leader}
 	ack := wire.AckPayload{User: m.user, Leader: m.leader, NPrev: p.NNext, NNext: next}
-	box, err := crypto.Seal(m.sessionKey, ack.Marshal(), reply.Header())
+	box, err := m.session.Seal(ack.Marshal(), reply.Header())
 	if err != nil {
 		return MemberEvent{}, err
 	}
@@ -221,12 +232,13 @@ func (m *MemberSession) Leave() (wire.Envelope, error) {
 	}
 	env := wire.Envelope{Type: wire.TypeReqClose, Sender: m.user, Receiver: m.leader}
 	payload := wire.ClosePayload{User: m.user, Leader: m.leader}
-	box, err := crypto.Seal(m.sessionKey, payload.Marshal(), env.Header())
+	box, err := m.session.Seal(payload.Marshal(), env.Header())
 	if err != nil {
 		return wire.Envelope{}, err
 	}
 	env.Payload = box
 	m.phase = MemberClosed
 	m.sessionKey.Zero()
+	m.session = nil
 	return env, nil
 }

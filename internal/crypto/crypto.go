@@ -140,46 +140,81 @@ func (n Nonce) String() string {
 	return "N(" + hex.EncodeToString(n[:4]) + ")"
 }
 
-// Seal encrypts and authenticates plaintext under k, binding the additional
-// data ad (the unencrypted message header) to the ciphertext. The output
-// carries the GCM nonce as a prefix.
-func Seal(k Key, plaintext, ad []byte) ([]byte, error) {
+// Cipher is a Key bound to its precomputed AEAD instance. Building the AES
+// key schedule and the GCM multiplication tables costs more than sealing a
+// typical protocol message, so session hot paths construct one Cipher per
+// key (NewCipher) and reuse it for every Seal/Open under that key, instead
+// of paying the setup on each call as the package-level helpers do.
+type Cipher struct {
+	key  Key
+	aead cipher.AEAD
+}
+
+// NewCipher precomputes the AEAD for k. The returned Cipher is safe for
+// concurrent use.
+func NewCipher(k Key) (*Cipher, error) {
 	if !k.valid {
-		return nil, errors.New("crypto: seal with invalid key")
+		return nil, errors.New("crypto: cipher from invalid key")
 	}
 	aead, err := newAEAD(k)
 	if err != nil {
 		return nil, err
 	}
-	iv := make([]byte, aead.NonceSize())
+	return &Cipher{key: k, aead: aead}, nil
+}
+
+// Key returns the key the cipher is bound to.
+func (c *Cipher) Key() Key { return c.key }
+
+// Seal encrypts and authenticates plaintext, binding the additional data ad
+// (the unencrypted message header) to the ciphertext. The output carries
+// the GCM nonce as a prefix.
+func (c *Cipher) Seal(plaintext, ad []byte) ([]byte, error) {
+	iv := make([]byte, c.aead.NonceSize(), c.aead.NonceSize()+len(plaintext)+c.aead.Overhead())
 	if _, err := rand.Read(iv); err != nil {
 		return nil, fmt.Errorf("crypto: generate iv: %w", err)
 	}
-	out := make([]byte, 0, len(iv)+len(plaintext)+aead.Overhead())
-	out = append(out, iv...)
-	return aead.Seal(out, iv, plaintext, ad), nil
+	return c.aead.Seal(iv, iv, plaintext, ad), nil
 }
 
 // Open authenticates and decrypts a ciphertext produced by Seal under the
 // same key and additional data. It returns ErrDecrypt on any failure, so
 // callers cannot distinguish tampering modes (no decryption oracle).
-func Open(k Key, ciphertext, ad []byte) ([]byte, error) {
-	if !k.valid {
+func (c *Cipher) Open(ciphertext, ad []byte) ([]byte, error) {
+	if len(ciphertext) < c.aead.NonceSize()+c.aead.Overhead() {
 		return nil, ErrDecrypt
 	}
-	aead, err := newAEAD(k)
-	if err != nil {
-		return nil, ErrDecrypt
-	}
-	if len(ciphertext) < aead.NonceSize()+aead.Overhead() {
-		return nil, ErrDecrypt
-	}
-	iv, box := ciphertext[:aead.NonceSize()], ciphertext[aead.NonceSize():]
-	plain, err := aead.Open(nil, iv, box, ad)
+	iv, box := ciphertext[:c.aead.NonceSize()], ciphertext[c.aead.NonceSize():]
+	plain, err := c.aead.Open(nil, iv, box, ad)
 	if err != nil {
 		return nil, ErrDecrypt
 	}
 	return plain, nil
+}
+
+// Seal encrypts and authenticates plaintext under k, rebuilding the AEAD on
+// every call. One-shot paths (long-term-key handshake messages, the legacy
+// protocol) use it; anything per-message holds a Cipher instead.
+func Seal(k Key, plaintext, ad []byte) ([]byte, error) {
+	c, err := NewCipher(k)
+	if err != nil {
+		return nil, err
+	}
+	return c.Seal(plaintext, ad)
+}
+
+// Open authenticates and decrypts a ciphertext produced by Seal under the
+// same key and additional data, rebuilding the AEAD on every call; see
+// Cipher.Open for the cached variant.
+func Open(k Key, ciphertext, ad []byte) ([]byte, error) {
+	if !k.valid {
+		return nil, ErrDecrypt
+	}
+	c, err := NewCipher(k)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return c.Open(ciphertext, ad)
 }
 
 func newAEAD(k Key) (cipher.AEAD, error) {

@@ -154,6 +154,15 @@ func (c *Conn) Send(e wire.Envelope) error {
 	return nil
 }
 
+// SendEncoded queues the envelope form: the fault pipeline drops, holds,
+// and duplicates envelopes, so the shared frame bytes do not apply here.
+func (c *Conn) SendEncoded(enc *transport.Encoded) error { return c.Send(enc.Env()) }
+
+// SendBatch queues each envelope in order; there is no flush to batch.
+func (c *Conn) SendBatch(batch []transport.Outgoing) error {
+	return transport.SendEach(c, batch)
+}
+
 // Recv returns the next surviving inbound envelope.
 func (c *Conn) Recv() (wire.Envelope, error) {
 	e, err := c.inQ.Pop()

@@ -117,16 +117,38 @@ type memberConn struct {
 	lastAdmin time.Time
 }
 
-// outFrame is one element of a member's outbox: either a pre-sealed frame
-// forwarded verbatim (AppData relay, retransmissions, engine-drained
-// replies) or an admin body (sealed == false) that the member's writer
-// goroutine seals into an AdminMsg outside the global lock — broadcasts
-// under Leader.mu only enqueue, which is why the lock-hold time per
-// broadcast is O(members) queue pushes rather than O(members) AEAD seals.
+// outFrame is one element of a member's outbox: a shared pre-encoded
+// fan-out frame (enc, used by the AppData relay so the envelope is encoded
+// once for all N recipients), a pre-sealed frame forwarded verbatim
+// (retransmissions, engine-drained replies), or an admin body
+// (sealed == false) that the member's writer goroutine seals into an
+// AdminMsg outside the global lock — broadcasts under Leader.mu only
+// enqueue, which is why the lock-hold time per broadcast is O(members)
+// queue pushes rather than O(members) AEAD seals.
 type outFrame struct {
 	env    wire.Envelope
+	enc    *transport.Encoded
 	body   wire.AdminBody
 	sealed bool
+}
+
+// pushOut enqueues one outbox frame, stepping the aggregate depth gauge
+// only when the enqueue succeeds; the writer goroutine (and the teardown
+// drain) retire frames with outboxDrained, so the gauge reports the total
+// number of queued frames across all members at any instant.
+func (s *memberConn) pushOut(f outFrame) error {
+	err := s.out.Push(f)
+	if err == nil {
+		mOutboxDepth.Add(1)
+	}
+	return err
+}
+
+// outboxDrained retires n popped frames from the aggregate depth gauge.
+func outboxDrained(n int) {
+	if n > 0 {
+		mOutboxDepth.Add(-int64(n))
+	}
 }
 
 // unackedAdmin is one emitted AdminMsg awaiting acknowledgment: sentAt
@@ -411,22 +433,41 @@ func (g *Leader) serveConn(conn transport.Conn) {
 		engine: engine,
 		out:    queue.NewBounded[outFrame](g.outboxCap),
 	}
-	// Writer goroutine: drains the outbox so broadcasts never block, and
-	// seals admin bodies here — outside Leader.mu — so a slow AEAD or a
-	// slow member never holds up the whole group.
+	// Writer goroutine: drains the outbox in batches so broadcasts never
+	// block, seals admin bodies here — outside Leader.mu — so a slow AEAD
+	// or a slow member never holds up the whole group, and transmits each
+	// drained backlog behind a single flush (one syscall per drain on
+	// byte-stream transports, not one per frame).
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
+		var (
+			frames []outFrame
+			batch  []transport.Outgoing
+		)
 		for {
-			f, err := s.out.Pop()
+			var err error
+			frames, err = s.out.PopAll(frames)
 			if err != nil {
 				return
 			}
-			env, ok := g.sealFrame(s, f)
-			if !ok {
+			outboxDrained(len(frames))
+			batch = batch[:0]
+			for _, f := range frames {
+				if f.enc != nil {
+					batch = append(batch, transport.Outgoing{Enc: f.enc})
+					continue
+				}
+				env, ok := g.sealFrame(s, f)
+				if !ok {
+					continue
+				}
+				batch = append(batch, transport.Outgoing{Env: env})
+			}
+			if len(batch) == 0 {
 				continue
 			}
-			if err := s.conn.Send(env); err != nil {
+			if err := s.conn.SendBatch(batch); err != nil {
 				return
 			}
 		}
@@ -448,6 +489,15 @@ func (g *Leader) serveConn(conn transport.Conn) {
 	s.out.Close()
 	conn.Close()
 	<-writerDone
+	// The writer exits on a send failure with frames possibly still queued;
+	// the outbox is closed by now, so retire the leftovers to keep the
+	// aggregate depth gauge exact.
+	for {
+		if _, ok := s.out.TryPop(); !ok {
+			break
+		}
+		outboxDrained(1)
+	}
 }
 
 // readLoop processes frames from one member until the connection drops or
@@ -499,12 +549,11 @@ func (g *Leader) handleProtocol(s *memberConn, env wire.Envelope) bool {
 		// AdminMsg (or emitted the AuthKeyDist during the handshake).
 		// Retransmit tracking records it only once the enqueue succeeds, so
 		// a full or closed outbox leaves no phantom liveness state behind.
-		switch err := s.out.Push(outFrame{env: *ev.Reply, sealed: true}); {
+		switch err := s.pushOut(outFrame{env: *ev.Reply, sealed: true}); {
 		case err == nil:
 			if ev.Reply.Type == wire.TypeAdminMsg {
 				s.trackLocked(*ev.Reply, now)
 			}
-			mOutboxDepth.Set(int64(s.out.Len()))
 		case errors.Is(err, queue.ErrFull):
 			overflow = true
 		default:
@@ -619,12 +668,11 @@ func (g *Leader) broadcastAdminLocked(body wire.AdminBody, skip string) {
 // (bounded memory beats unbounded hope), and a closed outbox (member
 // tearing down) is not an error worth surfacing.
 func (g *Leader) sendAdminLocked(s *memberConn, body wire.AdminBody) {
-	switch err := s.out.Push(outFrame{body: body}); {
+	switch err := s.pushOut(outFrame{body: body}); {
 	case err == nil:
 		s.mu.Lock()
 		s.lastAdmin = time.Now()
 		s.mu.Unlock()
-		mOutboxDepth.Set(int64(s.out.Len()))
 	case errors.Is(err, queue.ErrFull):
 		mOverflow.Inc()
 		g.evictLocked(s, "outbox overflow (slow consumer)")
@@ -655,9 +703,14 @@ func (g *Leader) relay(from *memberConn, env wire.Envelope) {
 	}
 	g.mu.Unlock()
 
+	// Encode the relayed envelope once and hand every outbox the same shared
+	// frame: on byte-stream transports the fan-out pays one encode for N
+	// members instead of N, and in-memory pipes never trigger the encode at
+	// all (Encoded realizes its bytes lazily).
+	enc := transport.NewEncoded(env)
 	var overflowed []*memberConn
 	for _, s := range targets {
-		switch err := s.out.Push(outFrame{env: env, sealed: true}); {
+		switch err := s.pushOut(outFrame{enc: enc}); {
 		case errors.Is(err, queue.ErrFull):
 			mOverflow.Inc()
 			overflowed = append(overflowed, s)

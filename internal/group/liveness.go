@@ -123,7 +123,7 @@ func (g *Leader) livenessTick(now time.Time) {
 				// change, so retransmission is always safe. The pacing stamp
 				// advances only when the enqueue succeeds — a full outbox
 				// retries next tick until the ack deadline decides.
-				switch err := s.out.Push(outFrame{env: s.unacked[0].env, sealed: true}); {
+				switch err := s.pushOut(outFrame{env: s.unacked[0].env, sealed: true}); {
 				case err == nil:
 					s.unacked[0].resentAt = now
 					mRetransmits.Inc()
@@ -132,7 +132,7 @@ func (g *Leader) livenessTick(now time.Time) {
 				}
 			}
 		case lv.HeartbeatInterval > 0 && now.Sub(s.lastAdmin) >= lv.HeartbeatInterval:
-			if s.out.Push(outFrame{body: wire.Heartbeat{}}) == nil {
+			if s.pushOut(outFrame{body: wire.Heartbeat{}}) == nil {
 				s.lastAdmin = now
 				mHeartbeats.Inc()
 			}

@@ -21,8 +21,9 @@ var (
 	mOverflow    = metrics.NewCounter("group_outbox_overflow_total")
 
 	// mMembers is the live accepted-member count (summed across leaders);
-	// mOutboxDepth samples the depth of whichever outbox was pushed to most
-	// recently — a cheap congestion indicator, not an aggregate.
+	// mOutboxDepth is the aggregate number of frames queued across every
+	// member outbox — incremented on push, decremented as the writer drains
+	// (and on teardown), so it reads as total backlog, not a point sample.
 	mMembers     = metrics.NewGauge("group_members")
 	mOutboxDepth = metrics.NewGauge("group_outbox_depth")
 

@@ -1,0 +1,125 @@
+package group
+
+import (
+	"testing"
+
+	"enclaves/internal/crypto"
+	"enclaves/internal/member"
+	"enclaves/internal/queue"
+	"enclaves/internal/transport"
+	"enclaves/internal/wire"
+)
+
+// TestOutboxDepthGaugeAggregates: the depth gauge is an aggregate across
+// every member outbox — pushes to two different outboxes both count, drains
+// subtract exactly what was drained, and a failed push (full outbox) leaves
+// the gauge untouched. The previous last-writer-wins Set made the gauge the
+// depth of whichever outbox happened to be touched last, which under
+// concurrent writers reads as noise.
+func TestOutboxDepthGaugeAggregates(t *testing.T) {
+	withMetrics(t)
+
+	base := mOutboxDepth.Value()
+	a := &memberConn{user: "a", out: queue.NewBounded[outFrame](2)}
+	b := &memberConn{user: "b", out: queue.NewBounded[outFrame](2)}
+
+	for i := 0; i < 2; i++ {
+		if err := a.pushOut(outFrame{body: wire.Heartbeat{}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.pushOut(outFrame{body: wire.Heartbeat{}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := mOutboxDepth.Value() - base; got != 3 {
+		t.Fatalf("after 3 pushes across 2 outboxes: gauge delta = %d, want 3", got)
+	}
+
+	// A rejected push (outbox full) must not move the aggregate.
+	if err := a.pushOut(outFrame{body: wire.Heartbeat{}}); err != queue.ErrFull {
+		t.Fatalf("push to full outbox: err = %v, want ErrFull", err)
+	}
+	if got := mOutboxDepth.Value() - base; got != 3 {
+		t.Fatalf("after rejected push: gauge delta = %d, want 3", got)
+	}
+
+	// Draining subtracts exactly the number of frames drained.
+	frames, err := a.out.PopAll(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outboxDrained(len(frames))
+	if got := mOutboxDepth.Value() - base; got != 1 {
+		t.Fatalf("after draining outbox a: gauge delta = %d, want 1", got)
+	}
+	if _, ok := b.out.TryPop(); !ok {
+		t.Fatal("outbox b unexpectedly empty")
+	}
+	outboxDrained(1)
+	if got := mOutboxDepth.Value() - base; got != 0 {
+		t.Fatalf("after draining everything: gauge delta = %d, want 0", got)
+	}
+}
+
+// TestOutboxDepthGaugeReturnsToZero: after live traffic through a real
+// leader — join, rekey broadcast, multicast relay, leave — every queued
+// frame was eventually drained or retired, so the aggregate gauge returns
+// to its starting level. This catches both leak directions: a push site
+// that bypasses pushOut (gauge ends low) and a drain that is never
+// accounted (gauge ends high).
+func TestOutboxDepthGaugeReturnsToZero(t *testing.T) {
+	withMetrics(t)
+	base := mOutboxDepth.Value()
+
+	keys := map[string]crypto.Key{
+		"alice": crypto.DeriveKey("alice", leaderName, "pw"),
+		"bob":   crypto.DeriveKey("bob", leaderName, "pw"),
+	}
+	g, err := NewLeader(Config{Name: leaderName, Users: keys, Rekey: RekeyPolicy{OnLeave: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewMemNetwork()
+	defer net.Close()
+	l, err := net.Listen(leaderName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go g.Serve(l)
+
+	join := func(user string) *member.Member {
+		conn, err := net.Dial(leaderName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := member.Join(conn, user, leaderName, keys[user])
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			for {
+				if _, err := m.Next(); err != nil {
+					return
+				}
+			}
+		}()
+		return m
+	}
+	alice := join("alice")
+	bob := join("bob")
+	waitFor(t, "both accepted", func() bool { return len(g.Members()) == 2 })
+
+	if err := g.Rekey(); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.SendData([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	alice.Leave()
+	bob.Leave()
+	g.Close()
+	waitFor(t, "gauge back to baseline", func() bool {
+		return mOutboxDepth.Value() == base
+	})
+}

@@ -154,7 +154,7 @@ func TestFailedEnqueueLeavesLivenessStateUntouched(t *testing.T) {
 	// Not registered in g.sessions, so the overflow eviction is a no-op and
 	// the state inspection below sees exactly what the send path did.
 	s := &memberConn{user: "ghost", out: queue.NewBounded[outFrame](1)}
-	if err := s.out.Push(outFrame{body: wire.Heartbeat{}}); err != nil {
+	if err := s.pushOut(outFrame{body: wire.Heartbeat{}}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -208,7 +208,7 @@ func TestRetransmitPacingOnlyAdvancesOnEnqueue(t *testing.T) {
 	env := wire.Envelope{Type: wire.TypeAdminMsg, Sender: leaderName, Receiver: "ghost"}
 	s := &memberConn{user: "ghost", out: queue.NewBounded[outFrame](1)}
 	s.unacked = []unackedAdmin{{env: env, seq: 1, sentAt: sent, resentAt: sent}}
-	if err := s.out.Push(outFrame{body: wire.Heartbeat{}}); err != nil { // fill
+	if err := s.pushOut(outFrame{body: wire.Heartbeat{}}); err != nil { // fill
 		t.Fatal(err)
 	}
 	g.mu.Lock()

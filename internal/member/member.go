@@ -131,6 +131,11 @@ type Member struct {
 	mu       sync.Mutex
 	groupKey crypto.Key
 	epoch    uint64
+	// groupCipher/prevCipher carry the precomputed AEADs for the group keys
+	// above: the AES key schedule and GCM tables are built once per rekey
+	// instead of once per multicast seal/open.
+	groupCipher *crypto.Cipher
+	prevCipher  *crypto.Cipher
 	// prevKey/prevEpoch retain the immediately superseded group key for
 	// one epoch, so multicast that was in flight across a rekey still
 	// decrypts. Anything older is rejected: the forward-secrecy boundary
@@ -155,6 +160,11 @@ type Member struct {
 
 	events *queue.Queue[Event]
 	done   chan struct{}
+
+	// outQ decouples producers (SendData, acks) from the transport: a writer
+	// goroutine drains it in batches and transmits behind a single flush.
+	outQ       *queue.Queue[wire.Envelope]
+	writerDone chan struct{}
 
 	rejected atomic.Uint64 // frames rejected by the engine or epoch checks
 }
@@ -215,17 +225,20 @@ func JoinOpts(conn transport.Conn, user, leader string, longTerm crypto.Key, opt
 	}
 
 	m := &Member{
-		name:    user,
-		leader:  leader,
-		conn:    conn,
-		engine:  engine,
-		silence: opts.SilenceTimeout,
-		view:    map[string]bool{user: true},
-		events:  queue.New[Event](),
-		done:    make(chan struct{}),
+		name:       user,
+		leader:     leader,
+		conn:       conn,
+		engine:     engine,
+		silence:    opts.SilenceTimeout,
+		view:       map[string]bool{user: true},
+		events:     queue.New[Event](),
+		done:       make(chan struct{}),
+		outQ:       queue.New[wire.Envelope](),
+		writerDone: make(chan struct{}),
 	}
 	m.lastRecv.Store(time.Now().UnixNano())
 	go m.recvLoop()
+	go m.writeLoop()
 	if m.silence > 0 {
 		go m.silenceWatchdog()
 	}
@@ -347,22 +360,57 @@ func (m *Member) TryNext() (Event, bool) {
 // current group key.
 func (m *Member) SendData(data []byte) error {
 	m.mu.Lock()
-	key, epoch, left := m.groupKey, m.epoch, m.left
+	gc, epoch, left := m.groupCipher, m.epoch, m.left
 	m.mu.Unlock()
 	if left {
 		return ErrLeft
 	}
-	if !key.Valid() {
+	if gc == nil {
 		return ErrNoGroupKey
 	}
 	env := wire.Envelope{Type: wire.TypeAppData, Sender: m.name, Receiver: m.leader}
 	payload := wire.AppDataPayload{Sender: m.name, Epoch: epoch, Data: data}
-	box, err := crypto.Seal(key, payload.Marshal(), env.Header())
+	box, err := gc.Seal(payload.Marshal(), env.Header())
 	if err != nil {
 		return err
 	}
 	env.Payload = box
-	return m.conn.Send(env)
+	return m.send(env)
+}
+
+// send hands an envelope to the writer goroutine. A closed queue means the
+// session is tearing down; report it as the connection being closed so
+// callers see the same error a direct send on a dead conn would yield.
+func (m *Member) send(env wire.Envelope) error {
+	if err := m.outQ.Push(env); err != nil {
+		return transport.ErrClosed
+	}
+	return nil
+}
+
+// writeLoop drains the outbound queue in batches and transmits each drained
+// backlog behind a single flush. It exits when the queue closes (Leave or
+// the receive loop tearing down) or the transport fails.
+func (m *Member) writeLoop() {
+	defer close(m.writerDone)
+	var (
+		envs  []wire.Envelope
+		batch []transport.Outgoing
+	)
+	for {
+		var err error
+		envs, err = m.outQ.PopAll(envs)
+		if err != nil {
+			return
+		}
+		batch = batch[:0]
+		for _, e := range envs {
+			batch = append(batch, transport.Outgoing{Env: e})
+		}
+		if err := m.conn.SendBatch(batch); err != nil {
+			return
+		}
+	}
 }
 
 // Leave ends the session with the unreplayable ReqClose and closes the
@@ -378,8 +426,12 @@ func (m *Member) Leave() error {
 
 	closeEnv, err := m.engineLeave()
 	if err == nil {
-		err = m.conn.Send(closeEnv)
+		err = m.send(closeEnv)
 	}
+	// Close the queue and wait for the writer so the ReqClose actually
+	// flushes before the connection is torn down under it.
+	m.outQ.Close()
+	<-m.writerDone
 	m.conn.Close()
 	<-m.done
 	return err
@@ -409,6 +461,7 @@ func (m *Member) recvLoop() {
 			}
 			m.events.Push(Event{Kind: EventClosed, Err: err})
 			m.events.Close()
+			m.outQ.Close() // no conn to write to; release the writer
 			return
 		}
 		m.lastRecv.Store(time.Now().UnixNano())
@@ -454,9 +507,13 @@ func (m *Member) handleAdmin(env wire.Envelope) {
 		if m.groupKey.Valid() {
 			m.prevKey = m.groupKey
 			m.prevEpoch = m.epoch
+			m.prevCipher = m.groupCipher
 		}
 		m.groupKey = body.Key
 		m.epoch = body.Epoch
+		// Precompute the AEAD once per rekey; a bad key from a confused
+		// leader leaves the cipher nil and SendData reports ErrNoGroupKey.
+		m.groupCipher, _ = crypto.NewCipher(body.Key)
 		out = Event{Kind: EventRekey, Epoch: body.Epoch}
 	case wire.MemberJoined:
 		m.view[body.Name] = true
@@ -481,6 +538,12 @@ func (m *Member) handleAdmin(env wire.Envelope) {
 	}
 	m.mu.Unlock()
 
+	// Acks bypass the batching queue: the pipeline is ack-gated with at most
+	// one AdminMsg outstanding per member, so there is never an ack backlog
+	// to coalesce — routing them through the writer would only add a
+	// goroutine handoff to the round trip that gates every broadcast. Conn
+	// implementations are safe for concurrent use, so the direct send may
+	// interleave with the writer's batches.
 	if ev.Reply != nil {
 		if err := m.conn.Send(*ev.Reply); err != nil {
 			return
@@ -498,19 +561,19 @@ func (m *Member) handleAdmin(env wire.Envelope) {
 // rejected.
 func (m *Member) handleAppData(env wire.Envelope) {
 	m.mu.Lock()
-	key, epoch := m.groupKey, m.epoch
-	prevKey, prevEpoch := m.prevKey, m.prevEpoch
+	gc, epoch := m.groupCipher, m.epoch
+	prev, prevEpoch := m.prevCipher, m.prevEpoch
 	m.mu.Unlock()
-	if !key.Valid() {
+	if gc == nil {
 		m.reject()
 		return
 	}
 	// Try the current key first, then the one-epoch grace key for traffic
 	// that was in flight across a rekey.
-	plain, err := crypto.Open(key, env.Payload, env.Header())
+	plain, err := gc.Open(env.Payload, env.Header())
 	wantEpoch := epoch
-	if err != nil && prevKey.Valid() {
-		plain, err = crypto.Open(prevKey, env.Payload, env.Header())
+	if err != nil && prev != nil {
+		plain, err = prev.Open(env.Payload, env.Header())
 		wantEpoch = prevEpoch
 	}
 	if err != nil {

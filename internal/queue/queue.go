@@ -95,6 +95,44 @@ func (q *Queue[T]) Pop() (T, error) {
 	return item, nil
 }
 
+// PopBatch blocks until at least one item is available (or the queue closes
+// empty), then drains up to max queued items — everything queued when max
+// is <= 0 — into buf, reusing its capacity. One PopBatch wakeup replaces N
+// Pop wakeups, which is what lets a writer goroutine seal and transmit an
+// entire backlog behind a single flush. After close, remaining items are
+// still drained before ErrClosed is returned.
+func (q *Queue[T]) PopBatch(buf []T, max int) ([]T, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.nonEmp.Wait()
+	}
+	if len(q.items) == 0 {
+		return buf[:0], ErrClosed
+	}
+	n := len(q.items)
+	if max > 0 && n > max {
+		n = max
+	}
+	out := append(buf[:0], q.items[:n]...)
+	var zero T
+	for i := 0; i < n; i++ {
+		q.items[i] = zero // release for GC
+	}
+	if n == len(q.items) {
+		// Fully drained and the items were copied out: rewind to the front
+		// of the backing array so future pushes reuse its capacity.
+		q.items = q.items[:0]
+	} else {
+		q.items = q.items[n:]
+	}
+	mPops.Add(uint64(n))
+	return out, nil
+}
+
+// PopAll is PopBatch without a bound: it drains the whole queue.
+func (q *Queue[T]) PopAll(buf []T) ([]T, error) { return q.PopBatch(buf, 0) }
+
 // TryPop returns the head item without blocking; ok is false if the queue
 // is empty.
 func (q *Queue[T]) TryPop() (item T, ok bool) {

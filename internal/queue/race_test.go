@@ -100,6 +100,84 @@ func TestBoundedRaceStress(t *testing.T) {
 	}
 }
 
+// TestPopBatchRaceStress is the concurrency proof for the batching drain
+// path that backs every writer goroutine: concurrent producers push while a
+// single drainer loops PopBatch with a reused buffer, and Close races the
+// tail. With one drainer the accounting is exact — every successfully
+// pushed item must be drained exactly once (PopBatch keeps draining the
+// backlog after Close before reporting ErrClosed), in FIFO order per
+// producer, with no duplicates and no losses. Run under -race in CI.
+func TestPopBatchRaceStress(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 5000
+	)
+	q := New[int]()
+
+	var pushed atomic.Uint64
+	var prodWG sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		prodWG.Add(1)
+		go func(p int) {
+			defer prodWG.Done()
+			for i := 0; i < perProd; i++ {
+				if err := q.Push(p*perProd + i); err != nil {
+					t.Errorf("unexpected Push error: %v", err)
+					return
+				}
+				pushed.Add(1)
+			}
+		}(p)
+	}
+
+	drained := make(chan []int, 1)
+	go func() {
+		var buf, got []int
+		for {
+			var err error
+			// Alternate bounded and unbounded drains to exercise both the
+			// partial-drain and full-drain paths of PopBatch.
+			if len(got)%2 == 0 {
+				buf, err = q.PopBatch(buf, 7)
+			} else {
+				buf, err = q.PopAll(buf)
+			}
+			if err != nil {
+				drained <- got
+				return
+			}
+			got = append(got, buf...)
+		}
+	}()
+
+	prodWG.Wait()
+	q.Close()
+	got := <-drained
+
+	if uint64(len(got)) != pushed.Load() {
+		t.Fatalf("drained %d items, pushed %d", len(got), pushed.Load())
+	}
+	// Per-producer FIFO: item values encode (producer, sequence); within one
+	// producer the drain order must be strictly increasing. Duplicates or
+	// reorderings across batch boundaries would break monotonicity.
+	last := make([]int, producers)
+	for i := range last {
+		last[i] = -1
+	}
+	for _, v := range got {
+		p, seq := v/perProd, v%perProd
+		if seq <= last[p] {
+			t.Fatalf("producer %d: sequence %d after %d (dup or reorder)", p, seq, last[p])
+		}
+		last[p] = seq
+	}
+	for p, l := range last {
+		if l != perProd-1 {
+			t.Fatalf("producer %d: last drained sequence %d, want %d (loss)", p, l, perProd-1)
+		}
+	}
+}
+
 // TestCloseReleasesBlockedConsumers: consumers blocked in Pop on an empty
 // queue all wake with ErrClosed when Close races them.
 func TestCloseReleasesBlockedConsumers(t *testing.T) {

@@ -161,6 +161,12 @@ func (c *linkConn) Send(e wire.Envelope) error {
 	return c.link.transmit(c.dir, e)
 }
 
+// SendEncoded delivers the envelope form: the adversary observes and
+// manipulates envelopes, so the shared frame bytes are irrelevant here.
+func (c *linkConn) SendEncoded(enc *Encoded) error { return c.Send(enc.Env()) }
+
+func (c *linkConn) SendBatch(batch []Outgoing) error { return SendEach(c, batch) }
+
 func (c *linkConn) Recv() (wire.Envelope, error) {
 	return translateErr(c.in.Pop())
 }

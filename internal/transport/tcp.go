@@ -54,6 +54,53 @@ func (c *tcpConn) Send(e wire.Envelope) error {
 	return nil
 }
 
+// SendEncoded writes the shared pre-encoded frame verbatim: when a relay
+// fans one envelope out to N TCP members, the encoding happened once in
+// Encoded.Frame and each connection only pays the write.
+func (c *tcpConn) SendEncoded(enc *Encoded) error {
+	frame, err := enc.Frame()
+	if err != nil {
+		return err
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if _, err := c.w.Write(frame); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	countSend(enc.Env())
+	return nil
+}
+
+// SendBatch writes every frame into the buffered writer and flushes once,
+// collapsing a drained outbox into a single syscall (modulo buffer size).
+func (c *tcpConn) SendBatch(batch []Outgoing) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	for _, o := range batch {
+		if o.Enc != nil {
+			frame, err := o.Enc.Frame()
+			if err != nil {
+				return err
+			}
+			if _, err := c.w.Write(frame); err != nil {
+				return err
+			}
+		} else if err := wire.WriteFrame(c.w, o.Env); err != nil {
+			return err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	for _, o := range batch {
+		countSend(o.Envelope())
+	}
+	return nil
+}
+
 func (c *tcpConn) Recv() (wire.Envelope, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()

@@ -40,16 +40,76 @@ func countRecv(e wire.Envelope) {
 // ErrClosed is returned by operations on a closed connection or listener.
 var ErrClosed = errors.New("transport: closed")
 
+// Encoded is an envelope paired with its lazily computed wire frame, built
+// once and shared across a fan-out: the leader relay wraps the envelope in
+// one Encoded and hands the same value to every member's connection.
+// Byte-stream transports encode the frame on first use and then write the
+// identical bytes N times; message-oriented transports (pipes, links) never
+// trigger the encoding at all. Safe for concurrent use; the frame bytes
+// must be treated as immutable by every consumer.
+type Encoded struct {
+	env  wire.Envelope
+	once sync.Once
+	raw  []byte
+	err  error
+}
+
+// NewEncoded wraps an envelope for encode-once fan-out.
+func NewEncoded(env wire.Envelope) *Encoded { return &Encoded{env: env} }
+
+// Env returns the wrapped envelope.
+func (e *Encoded) Env() wire.Envelope { return e.env }
+
+// Frame returns the complete length-prefixed frame (wire.EncodeFrame),
+// encoding on first call and reusing the bytes for every later one.
+func (e *Encoded) Frame() ([]byte, error) {
+	e.once.Do(func() { e.raw, e.err = wire.EncodeFrame(e.env) })
+	return e.raw, e.err
+}
+
+// Outgoing is one element of a batched send: either a plain envelope or a
+// shared pre-encoded frame (Enc non-nil, in which case Env is ignored).
+type Outgoing struct {
+	Env wire.Envelope
+	Enc *Encoded
+}
+
+// Envelope returns the envelope being sent, whichever form carries it.
+func (o Outgoing) Envelope() wire.Envelope {
+	if o.Enc != nil {
+		return o.Enc.env
+	}
+	return o.Env
+}
+
 // Conn is a bidirectional, message-oriented point-to-point link.
 // Implementations are safe for concurrent use.
 type Conn interface {
 	// Send transmits one envelope.
 	Send(wire.Envelope) error
+	// SendEncoded transmits an envelope whose wire frame is shared across
+	// a fan-out; byte-stream transports write the pre-encoded bytes
+	// instead of re-encoding per connection.
+	SendEncoded(*Encoded) error
+	// SendBatch transmits the batch in order with at most one flush, so a
+	// drained outbox costs one syscall instead of one per frame.
+	SendBatch([]Outgoing) error
 	// Recv blocks until an envelope arrives or the connection closes.
 	Recv() (wire.Envelope, error)
 	// Close tears the connection down; pending and future Recv calls
 	// return ErrClosed (or io errors for network transports).
 	Close() error
+}
+
+// SendEach implements SendBatch by individual Sends, for message-oriented
+// transports that have no flush boundary to batch against.
+func SendEach(c Conn, batch []Outgoing) error {
+	for _, o := range batch {
+		if err := c.Send(o.Envelope()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Listener accepts inbound connections.
@@ -94,6 +154,10 @@ func (c *pipeConn) Send(e wire.Envelope) error {
 	countSend(e)
 	return nil
 }
+
+func (c *pipeConn) SendEncoded(enc *Encoded) error { return c.Send(enc.env) }
+
+func (c *pipeConn) SendBatch(batch []Outgoing) error { return SendEach(c, batch) }
 
 func (c *pipeConn) Recv() (wire.Envelope, error) {
 	e, err := translateErr(c.recv.Pop())

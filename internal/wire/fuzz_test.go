@@ -1,0 +1,163 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeeds is a seed corpus covering every message type: one valid frame
+// per Type, with representative sender/receiver/payload shapes (empty names,
+// empty payloads, binary payloads, max-length names).
+func fuzzSeeds(f *F) []Envelope {
+	f.Helper()
+	long := string(bytes.Repeat([]byte{'n'}, MaxNameLen))
+	seeds := []Envelope{
+		{Type: TypeAuthInitReq, Sender: "alice", Receiver: "leader", Payload: []byte{0xE5, 0x01, 0x00, 0xFF}},
+		{Type: TypeAuthKeyDist, Sender: "leader", Receiver: "alice", Payload: bytes.Repeat([]byte{0xAB}, 64)},
+		{Type: TypeAuthAckKey, Sender: "alice", Receiver: "leader"},
+		{Type: TypeAdminMsg, Sender: "leader", Receiver: "bob", Payload: []byte("ciphertext")},
+		{Type: TypeAck, Sender: "bob", Receiver: "leader", Payload: []byte{0}},
+		{Type: TypeReqClose, Sender: "carol", Receiver: "leader", Payload: []byte{1, 2, 3}},
+		{Type: TypeCloseAck, Sender: "leader", Receiver: "carol"},
+		{Type: TypeAppData, Sender: "alice", Receiver: "leader", Payload: bytes.Repeat([]byte{0x00}, 256)},
+		{Type: TypeReqOpen, Sender: "", Receiver: ""},
+		{Type: TypeAckOpen, Sender: long, Receiver: long},
+		{Type: TypeConnDenied, Sender: "leader", Receiver: "mallory"},
+		{Type: TypeLegacyAuth1, Sender: "alice", Receiver: "leader", Payload: []byte{0xDE, 0xAD}},
+		{Type: TypeLegacyAuth2, Sender: "leader", Receiver: "alice", Payload: []byte{0xBE, 0xEF}},
+		{Type: TypeLegacyAuth3, Sender: "alice", Receiver: "leader"},
+		{Type: TypeNewKey, Sender: "leader", Receiver: "alice", Payload: bytes.Repeat([]byte{0x11}, 32)},
+		{Type: TypeNewKeyAck, Sender: "alice", Receiver: "leader"},
+		{Type: TypeLegacyReqClose, Sender: "bob", Receiver: "leader"},
+		{Type: TypeCloseConn, Sender: "leader", Receiver: "bob"},
+		{Type: TypeMemRemoved, Sender: "leader", Receiver: "alice", Payload: []byte("bob")},
+		{Type: TypeMemAdded, Sender: "leader", Receiver: "alice", Payload: []byte("carol")},
+	}
+	return seeds
+}
+
+// F aliases testing.F so fuzzSeeds can take a helper receiver.
+type F = testing.F
+
+// FuzzDecode feeds arbitrary bytes to Decode: it must never panic, and any
+// envelope it accepts must survive an Encode/Decode round trip unchanged
+// (accepted frames are canonical).
+func FuzzDecode(f *testing.F) {
+	for _, e := range fuzzSeeds(f) {
+		enc, err := Encode(e)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	// Adversarial shapes: truncations, bad magic, absurd length fields.
+	f.Add([]byte{})
+	f.Add([]byte{magic})
+	f.Add([]byte{magic, version})
+	f.Add([]byte{magic, version, 1, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0x00, version, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc, err := Encode(e)
+		if err != nil {
+			t.Fatalf("decoded envelope fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("accepted frame is not canonical:\n in: %x\nout: %x", data, enc)
+		}
+		e2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if e2.Type != e.Type || e2.Sender != e.Sender || e2.Receiver != e.Receiver || !bytes.Equal(e2.Payload, e.Payload) {
+			t.Fatalf("round trip changed envelope: %v != %v", e2, e)
+		}
+	})
+}
+
+// FuzzRoundTrip drives Encode -> Decode and EncodeFrame -> ReadFrame with
+// arbitrary envelope fields: every in-bounds envelope must round-trip
+// exactly through both paths, and the two encodings must agree.
+func FuzzRoundTrip(f *testing.F) {
+	for _, e := range fuzzSeeds(f) {
+		f.Add(uint8(e.Type), e.Sender, e.Receiver, e.Payload)
+	}
+	f.Fuzz(func(t *testing.T, typ uint8, sender, receiver string, payload []byte) {
+		e := Envelope{Type: Type(typ), Sender: sender, Receiver: receiver, Payload: payload}
+		enc, err := Encode(e)
+		if err != nil {
+			if len(sender) > MaxNameLen || len(receiver) > MaxNameLen || len(payload) > MaxPayloadLen {
+				return // out of bounds, rejection is the contract
+			}
+			t.Fatalf("in-bounds envelope rejected: %v", err)
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode own encoding: %v", err)
+		}
+		if got.Type != e.Type || got.Sender != e.Sender || got.Receiver != e.Receiver || !bytes.Equal(got.Payload, e.Payload) {
+			t.Fatalf("round trip changed envelope: %v != %v", got, e)
+		}
+
+		frame, err := EncodeFrame(e)
+		if err != nil {
+			t.Fatalf("EncodeFrame after Encode succeeded: %v", err)
+		}
+		if !bytes.Equal(frame[4:], enc) {
+			t.Fatal("EncodeFrame body differs from Encode")
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, e); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), frame) {
+			t.Fatal("WriteFrame bytes differ from EncodeFrame")
+		}
+		got, err = ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame own frame: %v", err)
+		}
+		if got.Type != e.Type || got.Sender != e.Sender || got.Receiver != e.Receiver || !bytes.Equal(got.Payload, e.Payload) {
+			t.Fatalf("frame round trip changed envelope: %v != %v", got, e)
+		}
+	})
+}
+
+// FuzzReadFrame feeds arbitrary byte streams to ReadFrame: it must never
+// panic or over-allocate on adversarial length prefixes, and whatever it
+// accepts must be a canonical frame.
+func FuzzReadFrame(f *testing.F) {
+	for _, e := range fuzzSeeds(f) {
+		frame, err := EncodeFrame(e)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		// Two frames back to back: ReadFrame must consume exactly one.
+		f.Add(append(append([]byte{}, frame...), frame...))
+	}
+	// Length prefix promising far more than the stream holds, and an
+	// oversized declared frame that must be rejected before allocation.
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0x00, 0x00, 0x01, 0x00, magic})
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		r := bytes.NewReader(stream)
+		e, err := ReadFrame(r)
+		if err != nil {
+			return
+		}
+		enc, err := EncodeFrame(e)
+		if err != nil {
+			t.Fatalf("accepted frame fails to re-encode: %v", err)
+		}
+		consumed := len(stream) - r.Len()
+		if !bytes.Equal(enc, stream[:consumed]) {
+			t.Fatalf("accepted stream prefix is not canonical:\n in: %x\nout: %x", stream[:consumed], enc)
+		}
+	})
+}

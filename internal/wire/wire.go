@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Type identifies a message on the wire.
@@ -121,25 +122,64 @@ var (
 	ErrBadPayload = errors.New("wire: malformed payload")
 )
 
-// Encode serializes the envelope into a self-delimiting frame.
-func Encode(e Envelope) ([]byte, error) {
+// checkBounds rejects envelopes beyond the encoding limits.
+func checkBounds(e Envelope) error {
 	if len(e.Sender) > MaxNameLen || len(e.Receiver) > MaxNameLen {
-		return nil, fmt.Errorf("%w: name too long", ErrTooLarge)
+		return fmt.Errorf("%w: name too long", ErrTooLarge)
 	}
 	if len(e.Payload) > MaxPayloadLen {
-		return nil, fmt.Errorf("%w: payload %d bytes", ErrTooLarge, len(e.Payload))
+		return fmt.Errorf("%w: payload %d bytes", ErrTooLarge, len(e.Payload))
 	}
-	var b builder
-	b.putUint8(magic)
-	b.putUint8(version)
-	b.putUint8(uint8(e.Type))
-	b.putString(e.Sender)
-	b.putString(e.Receiver)
-	b.putBytes(e.Payload)
-	return b.bytes, nil
+	return nil
 }
 
-// Decode parses a frame produced by Encode.
+// encodedSize is the exact encoded length of the envelope (without the
+// 4-byte frame length prefix).
+func encodedSize(e Envelope) int {
+	return 3 + 4 + len(e.Sender) + 4 + len(e.Receiver) + 4 + len(e.Payload)
+}
+
+// appendEnvelope appends the envelope encoding to dst, which the caller has
+// sized; bounds were checked by checkBounds.
+func appendEnvelope(dst []byte, e Envelope) []byte {
+	dst = append(dst, magic, version, uint8(e.Type))
+	dst = appendLenPrefixed(dst, e.Sender)
+	dst = appendLenPrefixed(dst, e.Receiver)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(e.Payload)))
+	return append(dst, e.Payload...)
+}
+
+func appendLenPrefixed(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// Encode serializes the envelope into a self-delimiting frame.
+func Encode(e Envelope) ([]byte, error) {
+	if err := checkBounds(e); err != nil {
+		return nil, err
+	}
+	return appendEnvelope(make([]byte, 0, encodedSize(e)), e), nil
+}
+
+// EncodeFrame serializes the envelope into the complete length-prefixed
+// frame WriteFrame would emit, in one exactly-sized allocation. The result
+// can be handed verbatim to any number of byte-stream writers — the
+// encode-once fan-out path of the leader relay (transport.Conn.SendEncoded).
+func EncodeFrame(e Envelope) ([]byte, error) {
+	if err := checkBounds(e); err != nil {
+		return nil, err
+	}
+	n := encodedSize(e)
+	buf := make([]byte, 0, 4+n)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(n))
+	return appendEnvelope(buf, e), nil
+}
+
+// Decode parses a frame produced by Encode. The returned envelope's Payload
+// aliases data rather than copying it: callers that reuse or mutate the
+// input buffer afterwards must copy the payload first. (ReadFrame allocates
+// a fresh buffer per frame, so its envelopes are always safe to retain.)
 func Decode(data []byte) (Envelope, error) {
 	p := parser{data: data}
 	if p.uint8() != magic {
@@ -152,7 +192,7 @@ func Decode(data []byte) (Envelope, error) {
 		Type:     Type(p.uint8()),
 		Sender:   p.string(),
 		Receiver: p.string(),
-		Payload:  p.bytes(),
+		Payload:  p.bytesRef(),
 	}
 	if err := p.finish(); err != nil {
 		return Envelope{}, err
@@ -163,18 +203,25 @@ func Decode(data []byte) (Envelope, error) {
 	return e, nil
 }
 
-// WriteFrame writes a length-prefixed frame to w.
+// framePool recycles encode buffers for WriteFrame, whose output is fully
+// consumed by one Write call and never escapes — unlike Encode/EncodeFrame,
+// whose results are handed to callers and must own their storage.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// WriteFrame writes a length-prefixed frame to w as a single Write call,
+// encoding into a pooled buffer with the length prefix reserved up front.
 func WriteFrame(w io.Writer, e Envelope) error {
-	data, err := Encode(e)
-	if err != nil {
+	if err := checkBounds(e); err != nil {
 		return err
 	}
-	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
-	if _, err := w.Write(lenBuf[:]); err != nil {
-		return fmt.Errorf("wire: write frame length: %w", err)
-	}
-	if _, err := w.Write(data); err != nil {
+	bp := framePool.Get().(*[]byte)
+	n := encodedSize(e)
+	buf := binary.BigEndian.AppendUint32((*bp)[:0], uint32(n))
+	buf = appendEnvelope(buf, e)
+	_, err := w.Write(buf)
+	*bp = buf[:0]
+	framePool.Put(bp)
+	if err != nil {
 		return fmt.Errorf("wire: write frame: %w", err)
 	}
 	return nil
@@ -272,6 +319,26 @@ func (p *parser) bytes() []byte {
 	}
 	v := make([]byte, n)
 	copy(v, p.data[p.pos:p.pos+int(n)])
+	p.pos += int(n)
+	return v
+}
+
+// bytesRef is bytes without the defensive copy: the result aliases the
+// parser's input. Used for the envelope payload, whose input buffer is
+// per-frame and never reused (see Decode); field decoders that outlive
+// their input keep using bytes.
+func (p *parser) bytesRef() []byte {
+	if p.err != nil || p.pos+4 > len(p.data) {
+		p.fail()
+		return nil
+	}
+	n := binary.BigEndian.Uint32(p.data[p.pos:])
+	p.pos += 4
+	if n > MaxPayloadLen || p.pos+int(n) > len(p.data) {
+		p.fail()
+		return nil
+	}
+	v := p.data[p.pos : p.pos+int(n) : p.pos+int(n)]
 	p.pos += int(n)
 	return v
 }
