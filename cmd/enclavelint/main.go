@@ -1,0 +1,104 @@
+// Command enclavelint runs the protocol-invariant analyzers over the
+// module: the code-level analogues of the paper's machine-checked secrecy
+// invariants (never seal under a protocol lock, cached AEADs on hot paths,
+// crypto/rand only, exhaustive wire-type handling, no key bytes in logs).
+//
+// Usage:
+//
+//	go run ./cmd/enclavelint [-json|-github] [packages]
+//
+// Packages default to ./... and support the same /... suffix as the go
+// tool. Exit status: 0 clean, 1 findings, 2 load/usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"enclaves/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("enclavelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	github := fs.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	units, err := analyzers.Load(patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "enclavelint: %v\n", err)
+		return 2
+	}
+	diags := analyzers.Check(units)
+	cwd, _ := os.Getwd()
+	emit(diags, *jsonOut, *github, cwd, stdout)
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "enclavelint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// emit renders findings in the selected format: plain file:line:col lines,
+// a JSON array, or GitHub Actions ::error annotations.
+func emit(diags []analyzers.Diagnostic, jsonOut, github bool, cwd string, stdout io.Writer) {
+	switch {
+	case jsonOut:
+		type finding struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{
+				Analyzer: d.Analyzer,
+				File:     relPath(cwd, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	case github:
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d,title=enclavelint/%s::%s\n",
+				relPath(cwd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	default:
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n",
+				relPath(cwd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+}
+
+// relPath makes file paths cwd-relative so editor links and GitHub
+// annotations resolve.
+func relPath(cwd, path string) string {
+	if cwd == "" {
+		return path
+	}
+	if rel, err := filepath.Rel(cwd, path); err == nil && !filepath.IsAbs(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return path
+}

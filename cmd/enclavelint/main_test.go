@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+
+	"enclaves/internal/analyzers"
+)
+
+// TestRunCleanTree is the end-to-end gate test: the driver itself (flag
+// parsing, loading, scoping, exit code) must report the repo clean, because
+// CI runs exactly this.
+func TestRunCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir("../.."); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+
+	var out, errOut strings.Builder
+	if code := run([]string{"./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("run(./...) = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("clean tree produced output:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: run() = %d, want 2", code)
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"./does-not-exist"}, &out, &errOut); code != 2 {
+		t.Fatalf("missing dir: run() = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "enclavelint:") {
+		t.Errorf("load error not reported: %q", errOut.String())
+	}
+}
+
+func sampleDiags() []analyzers.Diagnostic {
+	return []analyzers.Diagnostic{{
+		Analyzer: "sealunderlock",
+		Pos:      token.Position{Filename: "/repo/internal/group/group.go", Line: 42, Column: 7},
+		Message:  "AEAD Cipher.Seal while holding l.mu",
+	}}
+}
+
+func TestEmitGitHubAnnotations(t *testing.T) {
+	var out strings.Builder
+	emit(sampleDiags(), false, true, "/repo", &out)
+	want := "::error file=internal/group/group.go,line=42,col=7,title=enclavelint/sealunderlock::AEAD Cipher.Seal while holding l.mu\n"
+	if out.String() != want {
+		t.Errorf("github annotation:\ngot  %q\nwant %q", out.String(), want)
+	}
+}
+
+func TestEmitJSON(t *testing.T) {
+	var out strings.Builder
+	emit(sampleDiags(), true, false, "/repo", &out)
+	var parsed []map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &parsed); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(parsed) != 1 || parsed[0]["analyzer"] != "sealunderlock" || parsed[0]["line"] != float64(42) {
+		t.Errorf("unexpected JSON payload: %s", out.String())
+	}
+}
+
+func TestEmitPlain(t *testing.T) {
+	var out strings.Builder
+	emit(sampleDiags(), false, false, "/repo", &out)
+	want := "internal/group/group.go:42:7: sealunderlock: AEAD Cipher.Seal while holding l.mu\n"
+	if out.String() != want {
+		t.Errorf("plain output:\ngot  %q\nwant %q", out.String(), want)
+	}
+}

@@ -1,0 +1,190 @@
+// Package analyzers implements enclavelint, a static-analysis layer that
+// machine-checks the code-level invariants this reproduction has accumulated:
+// never seal under a protocol lock (PR 2), always use the cached AEAD on hot
+// paths (PR 3), never draw crypto material from math/rand, handle every wire
+// message type exhaustively, and never let raw key bytes reach logs or audit
+// events.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Reportf, testdata corpora with // want comments) but is
+// built entirely on the standard library: the module is intentionally
+// dependency-free, so loading and type-checking go through go/parser,
+// go/types and go/importer's source importer instead of go/packages.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant check. Run inspects a single
+// type-checked Unit and reports findings through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// A Pass carries one (Analyzer, Unit) pairing through an analysis run.
+type Pass struct {
+	Analyzer *Analyzer
+	Unit     *Unit
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Unit.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// IgnorePrefix introduces a justified exemption comment:
+//
+//	//enclavelint:ignore sealunderlock reason the caller cannot observe ordering otherwise
+//
+// The directive suppresses matching diagnostics reported on its own line or
+// the line directly below it. The analyzer list is comma-separated; the
+// free-text justification is mandatory — a bare directive is itself reported.
+const IgnorePrefix = "//enclavelint:ignore"
+
+// badDirectiveAnalyzer attributes malformed ignore directives.
+const badDirectiveAnalyzer = "enclavelint"
+
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers map[string]bool
+	reason    string
+	pos       token.Pos
+}
+
+// parseIgnores scans a file's comments for ignore directives. Malformed
+// directives (no analyzer names, or no justification) are returned as
+// diagnostics so an exemption can never silently lose its reason.
+func parseIgnores(fset *token.FileSet, f *ast.File) ([]ignoreDirective, []Diagnostic) {
+	var dirs []ignoreDirective
+	var bad []Diagnostic
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, IgnorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, IgnorePrefix)
+			fields := strings.Fields(rest)
+			pos := fset.Position(c.Pos())
+			if len(fields) == 0 {
+				bad = append(bad, Diagnostic{
+					Analyzer: badDirectiveAnalyzer,
+					Pos:      pos,
+					Message:  "ignore directive names no analyzers (want //enclavelint:ignore <analyzer,...> <justification>)",
+				})
+				continue
+			}
+			if len(fields) < 2 {
+				bad = append(bad, Diagnostic{
+					Analyzer: badDirectiveAnalyzer,
+					Pos:      pos,
+					Message:  fmt.Sprintf("ignore directive for %q has no justification; exemptions must say why", fields[0]),
+				})
+				continue
+			}
+			names := map[string]bool{}
+			for _, n := range strings.Split(fields[0], ",") {
+				if n != "" {
+					names[n] = true
+				}
+			}
+			dirs = append(dirs, ignoreDirective{
+				file:      pos.Filename,
+				line:      pos.Line,
+				analyzers: names,
+				reason:    strings.Join(fields[1:], " "),
+				pos:       c.Pos(),
+			})
+		}
+	}
+	return dirs, bad
+}
+
+// suppressed reports whether d is covered by a well-formed ignore directive
+// on the same line or the line above.
+func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
+	for _, dir := range dirs {
+		if dir.file != d.Pos.Filename || !dir.analyzers[d.Analyzer] {
+			continue
+		}
+		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzer applies one analyzer to one unit, filters findings through the
+// unit's ignore directives, and returns them in deterministic order.
+func RunAnalyzer(a *Analyzer, u *Unit) []Diagnostic {
+	var raw []Diagnostic
+	a.Run(&Pass{Analyzer: a, Unit: u, diags: &raw})
+	var out []Diagnostic
+	for _, d := range raw {
+		if !suppressed(d, u.ignores) {
+			out = append(out, d)
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// Check runs every registered analyzer over every unit it is scoped to and
+// returns the combined findings, including malformed-directive reports.
+func Check(units []*Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, u := range units {
+		out = append(out, u.badIgnores...)
+		for _, sa := range Registry() {
+			if !sa.Applies(u.Path) {
+				continue
+			}
+			out = append(out, RunAnalyzer(sa.Analyzer, u)...)
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

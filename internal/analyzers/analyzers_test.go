@@ -1,0 +1,87 @@
+package analyzers
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestCryptoRandCorpus(t *testing.T)     { runCorpus(t, CryptoRand, "cryptorand") }
+func TestSealUnderLockCorpus(t *testing.T)  { runCorpus(t, SealUnderLock, "sealunderlock") }
+func TestCachedCipherCorpus(t *testing.T)   { runCorpus(t, CachedCipher, "cachedcipher") }
+func TestWireExhaustiveCorpus(t *testing.T) { runCorpus(t, WireExhaustive, "wireexhaustive") }
+func TestKeyHygieneCorpus(t *testing.T)     { runCorpus(t, KeyHygiene, "keyhygiene") }
+
+// TestIgnoreDirectiveParsing pins the exemption grammar: analyzers list and
+// a mandatory free-text justification.
+func TestIgnoreDirectiveParsing(t *testing.T) {
+	src := `package p
+
+//enclavelint:ignore sealunderlock the caller is a cold path
+var a int
+
+//enclavelint:ignore sealunderlock,cachedcipher shared justification
+var b int
+
+//enclavelint:ignore
+var c int
+
+//enclavelint:ignore keyhygiene
+var d int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, bad := parseIgnores(fset, f)
+	if len(dirs) != 2 {
+		t.Fatalf("got %d well-formed directives, want 2", len(dirs))
+	}
+	if !dirs[0].analyzers["sealunderlock"] || dirs[0].reason == "" {
+		t.Errorf("first directive parsed wrong: %+v", dirs[0])
+	}
+	if !dirs[1].analyzers["sealunderlock"] || !dirs[1].analyzers["cachedcipher"] {
+		t.Errorf("comma-separated analyzer list parsed wrong: %+v", dirs[1])
+	}
+	if len(bad) != 2 {
+		t.Fatalf("got %d malformed-directive reports, want 2: %v", len(bad), bad)
+	}
+	if !strings.Contains(bad[0].Message, "no analyzers") {
+		t.Errorf("bare directive report: %s", bad[0].Message)
+	}
+	if !strings.Contains(bad[1].Message, "no justification") {
+		t.Errorf("reasonless directive report: %s", bad[1].Message)
+	}
+}
+
+// TestIgnoreSuppression pins the one-line reach of a directive: same line
+// and the line below, same file, matching analyzer only.
+func TestIgnoreSuppression(t *testing.T) {
+	dirs := []ignoreDirective{{
+		file:      "x.go",
+		line:      10,
+		analyzers: map[string]bool{"cachedcipher": true},
+		reason:    "cold path",
+	}}
+	at := func(file string, line int, analyzer string) Diagnostic {
+		return Diagnostic{Analyzer: analyzer, Pos: token.Position{Filename: file, Line: line}}
+	}
+	cases := []struct {
+		d    Diagnostic
+		want bool
+	}{
+		{at("x.go", 10, "cachedcipher"), true},
+		{at("x.go", 11, "cachedcipher"), true},
+		{at("x.go", 12, "cachedcipher"), false},
+		{at("x.go", 9, "cachedcipher"), false},
+		{at("x.go", 11, "sealunderlock"), false},
+		{at("y.go", 11, "cachedcipher"), false},
+	}
+	for _, c := range cases {
+		if got := suppressed(c.d, dirs); got != c.want {
+			t.Errorf("suppressed(%s:%d %s) = %v, want %v", c.d.Pos.Filename, c.d.Pos.Line, c.d.Analyzer, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package analyzers
+
+// CachedCipher flags one-shot crypto.Seal / crypto.Open calls in non-test
+// code. The one-shot helpers rebuild the AES key schedule and GCM tables on
+// every call; PR 3 measured the cached crypto.Cipher at ~3x the one-shot
+// SealOpen throughput, so hot-path packages must hold a Cipher instead.
+var CachedCipher = &Analyzer{
+	Name: "cachedcipher",
+	Doc:  "require cached crypto.Cipher instead of one-shot crypto.Seal/Open on hot paths",
+	Run:  runCachedCipher,
+}
+
+func runCachedCipher(p *Pass) {
+	forEachNonTestCall(p.Unit, func(site callSite) {
+		f := funcOf(p.Unit.Info, site.call)
+		if f == nil || (f.Name() != "Seal" && f.Name() != "Open") {
+			return
+		}
+		if !isPkgFunc(f, cryptoPath, f.Name()) {
+			return
+		}
+		p.Reportf(site.call.Pos(),
+			"one-shot crypto.%s rebuilds the AES key schedule and GCM tables per call; hold a *crypto.Cipher (crypto.NewCipher) and call its %s method",
+			f.Name(), f.Name())
+	})
+}

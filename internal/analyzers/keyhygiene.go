@@ -1,0 +1,269 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// KeyHygiene keeps raw key material out of observable channels. crypto.Key
+// redacts itself (String prints a fingerprint), but Key.Bytes() and
+// key-named byte slices are raw secrets: one fmt.Printf or audit-event copy
+// puts P_a/K_a — the values the paper's PVS proofs guard — into logs,
+// metrics, or crash dumps. Flagged sinks, in non-test code:
+//
+//   - key material passed to fmt/log calls (and printf-shaped helpers);
+//   - crypto.Key formatted with %x/%X/%#v, which bypass its String method
+//     and reflect over the unexported key bytes;
+//   - key material converted to string;
+//   - key material stored into an audit Event literal or passed to the
+//     metrics package.
+//
+// "Key material" is Key.Bytes(), or a byte slice/array whose name contains
+// "key" (fingerprint/hash/digest/sum names exempt), or a slice thereof.
+var KeyHygiene = &Analyzer{
+	Name: "keyhygiene",
+	Doc:  "forbid raw key bytes in fmt/log output, string conversions, and audit/metrics events",
+	Run:  runKeyHygiene,
+}
+
+func runKeyHygiene(p *Pass) {
+	for _, f := range p.Unit.Files {
+		if p.Unit.IsTest(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkKeySinkCall(p, n)
+			case *ast.CompositeLit:
+				checkEventLit(p, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkKeySinkCall(p *Pass, call *ast.CallExpr) {
+	info := p.Unit.Info
+	// string(keyMaterial): a conversion, not a call.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 && len(call.Args) == 1 {
+			if desc, ok := keyMaterial(info, call.Args[0]); ok {
+				p.Reportf(call.Pos(), "%s converted to string: strings are unzeroable and leak into logs and dumps; keep key bytes in []byte and compare with subtle", desc)
+			}
+		}
+		return
+	}
+	f := funcOf(info, call)
+	sink, format := formatSink(f, call)
+	if !sink {
+		return
+	}
+	verbs := formatVerbs(info, call, format)
+	for i, arg := range call.Args {
+		if desc, ok := keyMaterial(info, arg); ok {
+			p.Reportf(arg.Pos(), "%s passed to %s: log fingerprints (Key.Fingerprint), never raw key bytes", desc, sinkLabel(f, call))
+			continue
+		}
+		if t, ok := info.Types[arg]; ok && typeIs(t.Type, cryptoPath, "Key") {
+			if v, ok := verbs[i]; ok && (v == 'x' || v == 'X' || v == '#') {
+				spelled := string(v)
+				if v == '#' {
+					spelled = "#v"
+				}
+				p.Reportf(arg.Pos(), "crypto.Key formatted with %%%s bypasses its redacting String method and dumps the raw key; use %%s or Key.Fingerprint", spelled)
+			}
+		}
+	}
+}
+
+// checkEventLit flags key material copied into audit/metrics event structs.
+func checkEventLit(p *Pass, lit *ast.CompositeLit) {
+	info := p.Unit.Info
+	tv, ok := info.Types[lit]
+	if !ok {
+		return
+	}
+	named := namedOf(tv.Type)
+	if named == nil || !strings.HasSuffix(named.Obj().Name(), "Event") {
+		return
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return
+	}
+	for _, elt := range lit.Elts {
+		e := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			e = kv.Value
+		}
+		if desc, ok := keyMaterial(info, e); ok {
+			p.Reportf(e.Pos(), "%s copied into %s: audit/metrics events are exported and retained; record a fingerprint instead", desc, typeLabel(named))
+		}
+	}
+}
+
+// keyMaterial reports whether e syntactically denotes raw key bytes and, if
+// so, a short description for the diagnostic.
+func keyMaterial(info *types.Info, e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	if sl, ok := e.(*ast.SliceExpr); ok {
+		e = ast.Unparen(sl.X)
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if f := funcOf(info, e); isMethod(f, cryptoPath, "Key", "Bytes") {
+			return "raw Key.Bytes()", true
+		}
+		// string(k.Bytes()) as a sink argument.
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			if desc, ok := keyMaterial(info, e.Args[0]); ok {
+				return desc + " (as string)", true
+			}
+		}
+	case *ast.Ident:
+		return namedKeyBytes(info, e, e.Name)
+	case *ast.SelectorExpr:
+		return namedKeyBytes(info, e, e.Sel.Name)
+	}
+	return "", false
+}
+
+// namedKeyBytes reports whether expr is a byte slice/array whose name marks
+// it as key material.
+func namedKeyBytes(info *types.Info, expr ast.Expr, name string) (string, bool) {
+	if !lowerContains(name, "key") {
+		return "", false
+	}
+	for _, safe := range []string{"fingerprint", "fp", "hash", "digest", "sum", "id", "name"} {
+		if lowerContains(name, safe) {
+			return "", false
+		}
+	}
+	tv, ok := info.Types[expr]
+	if !ok {
+		return "", false
+	}
+	if !isByteSeq(tv.Type) {
+		return "", false
+	}
+	return "key material " + name, true
+}
+
+func isByteSeq(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		b, ok := u.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	case *types.Array:
+		b, ok := u.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	}
+	return false
+}
+
+// formatSink decides whether a resolved callee is a logging/metrics sink.
+// It returns the index of the format-string parameter, or -1 when the call
+// has no (or an undecidable) format string.
+func formatSink(f *types.Func, call *ast.CallExpr) (sink bool, formatIndex int) {
+	if f == nil {
+		return false, -1
+	}
+	name := f.Name()
+	if f.Pkg() != nil {
+		switch f.Pkg().Path() {
+		case "fmt", "log", "log/slog", metricsPath:
+			return true, formatParamIndex(f)
+		}
+	}
+	if rt := recvType(f); rt != nil {
+		if typeIs(rt, "log", "Logger") || typeIs(rt, "log/slog", "Logger") {
+			return true, formatParamIndex(f)
+		}
+		if n := namedOf(rt); n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == metricsPath {
+			return true, formatParamIndex(f)
+		}
+	}
+	// printf-shaped helpers by convention: logf, debugf, auditf, ...
+	if strings.HasSuffix(name, "f") && len(call.Args) >= 1 {
+		lower := strings.ToLower(name)
+		for _, stem := range []string{"logf", "printf", "errorf", "debugf", "warnf", "infof", "tracef", "auditf"} {
+			if strings.HasSuffix(lower, stem) {
+				return true, formatParamIndex(f)
+			}
+		}
+	}
+	return false, -1
+}
+
+// formatParamIndex finds the string parameter directly before a variadic
+// tail — the printf convention — or -1.
+func formatParamIndex(f *types.Func) int {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || !sig.Variadic() || sig.Params().Len() < 2 {
+		return -1
+	}
+	i := sig.Params().Len() - 2
+	b, ok := sig.Params().At(i).Type().Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsString == 0 {
+		return -1
+	}
+	return i
+}
+
+// formatVerbs maps argument indexes of call to the format verb that will
+// render them, when the format string is a compile-time constant and simple
+// enough to pair verbs to arguments (no '*' width/precision args).
+func formatVerbs(info *types.Info, call *ast.CallExpr, formatIndex int) map[int]byte {
+	if formatIndex < 0 || formatIndex >= len(call.Args) {
+		return nil
+	}
+	tv, ok := info.Types[call.Args[formatIndex]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return nil
+	}
+	format := constant.StringVal(tv.Value)
+	verbs := map[int]byte{}
+	arg := formatIndex + 1
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		sharp := false
+		for i < len(format) && strings.IndexByte("+-# 0123456789.", format[i]) >= 0 {
+			if format[i] == '#' {
+				sharp = true
+			}
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '*' || format[i] == '[' {
+			return nil // dynamic width or explicit indexes: give up
+		}
+		v := format[i]
+		if sharp && v == 'v' {
+			v = '#'
+		}
+		verbs[arg] = v
+		arg++
+	}
+	return verbs
+}
+
+// sinkLabel renders the sink for a diagnostic message.
+func sinkLabel(f *types.Func, call *ast.CallExpr) string {
+	if f == nil {
+		return "a logging sink"
+	}
+	if f.Pkg() != nil && recvType(f) == nil {
+		return f.Pkg().Name() + "." + f.Name()
+	}
+	return f.Name()
+}

@@ -1,0 +1,271 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A Unit is one type-checked package variant: either a package's primary
+// unit (non-test files plus in-package _test.go files) or its external
+// X_test package. Analyzers see a fully resolved AST plus types.Info.
+type Unit struct {
+	// Path is the package's import path ("enclaves/internal/group").
+	// External test packages share the import path of the package under
+	// test; distinguish them by Name.
+	Path string
+	// Dir is the absolute directory the unit was loaded from.
+	Dir string
+	// Name is the package clause name ("group", "group_test").
+	Name  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	test map[*ast.File]bool
+
+	ignores    []ignoreDirective
+	badIgnores []Diagnostic
+}
+
+// IsTest reports whether f came from a _test.go file (or an external test
+// package, whose files are all test files).
+func (u *Unit) IsTest(f *ast.File) bool { return u.test[f] }
+
+// The source importer re-type-checks every imported package from source, so
+// one shared instance (and its package cache) is reused across all loads in
+// the process. The importer requires positions in the same FileSet it hands
+// out, so the FileSet is shared too.
+var (
+	sharedFset *token.FileSet
+	sharedImp  types.Importer
+	importOnce sync.Once
+)
+
+func sharedContext() (*token.FileSet, types.Importer) {
+	importOnce.Do(func() {
+		sharedFset = token.NewFileSet()
+		sharedImp = importer.ForCompiler(sharedFset, "source", nil)
+	})
+	return sharedFset, sharedImp
+}
+
+// Load expands command-line patterns ("./...", "./internal/wire") relative
+// to the current directory and loads every matched package directory.
+func Load(patterns []string) ([]*Unit, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(cwd)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		var matched []string
+		switch {
+		case pat == "..." || strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if base == "" {
+				base = "."
+			}
+			matched, err = goDirs(filepath.Join(cwd, base))
+			if err != nil {
+				return nil, err
+			}
+		default:
+			matched = []string{filepath.Join(cwd, pat)}
+		}
+		for _, d := range matched {
+			abs, err := filepath.Abs(d)
+			if err != nil {
+				return nil, err
+			}
+			if !seen[abs] {
+				seen[abs] = true
+				dirs = append(dirs, abs)
+			}
+		}
+	}
+	sort.Strings(dirs)
+	var units []*Unit
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("%s is outside module %s", dir, modPath)
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		us, err := LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, us...)
+	}
+	return units, nil
+}
+
+// LoadDir parses and type-checks the package(s) in one directory. It returns
+// up to two units: the primary package and, when present, its external
+// X_test package. Directories with no Go files yield no units.
+func LoadDir(dir, importPath string) ([]*Unit, error) {
+	fset, imp := sharedContext()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type parsed struct {
+		file *ast.File
+		test bool
+	}
+	byPkg := map[string][]parsed{}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg := f.Name.Name
+		byPkg[pkg] = append(byPkg[pkg], parsed{file: f, test: strings.HasSuffix(name, "_test.go")})
+	}
+	var pkgNames []string
+	for n := range byPkg {
+		pkgNames = append(pkgNames, n)
+	}
+	sort.Strings(pkgNames)
+	var units []*Unit
+	for _, pkgName := range pkgNames {
+		group := byPkg[pkgName]
+		u := &Unit{
+			Path: importPath,
+			Dir:  dir,
+			Name: pkgName,
+			Fset: fset,
+			test: map[*ast.File]bool{},
+		}
+		external := strings.HasSuffix(pkgName, "_test")
+		for _, p := range group {
+			u.Files = append(u.Files, p.file)
+			if p.test || external {
+				u.test[p.file] = true
+			}
+			dirs, bad := parseIgnores(fset, p.file)
+			u.ignores = append(u.ignores, dirs...)
+			u.badIgnores = append(u.badIgnores, bad...)
+		}
+		if err := typecheck(u, imp); err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+func typecheck(u *Unit, imp types.Importer) error {
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	u.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	pkg, err := conf.Check(u.Path, u.Fset, u.Files, u.Info)
+	if len(errs) > 0 {
+		limit := errs
+		if len(limit) > 5 {
+			limit = limit[:5]
+		}
+		msgs := make([]string, len(limit))
+		for i, e := range limit {
+			msgs[i] = e.Error()
+		}
+		return fmt.Errorf("type-checking %s (%s): %s", u.Path, u.Name, strings.Join(msgs, "; "))
+	}
+	if err != nil {
+		return fmt.Errorf("type-checking %s (%s): %v", u.Path, u.Name, err)
+	}
+	u.Pkg = pkg
+	return nil
+}
+
+// goDirs walks root collecting directories that contain at least one .go
+// file, skipping testdata, vendor, and dot directories.
+func goDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			dirs = append(dirs, filepath.Dir(path))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	out := dirs[:0]
+	for i, d := range dirs {
+		if i == 0 || dirs[i-1] != d {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// findModule locates the enclosing go.mod and returns the module root
+// directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,60 @@
+package analyzers
+
+// A ScopedAnalyzer pairs an analyzer with the exact import paths it gates.
+// Scoping lives here — at the driver layer, not inside the analyzers — so
+// the same analyzers run unconditionally over testdata corpora in tests.
+type ScopedAnalyzer struct {
+	*Analyzer
+	// Packages are the import paths the analyzer applies to. Everything
+	// else (examples, attack tooling, the seeded faultnet adversary) is
+	// deliberately out of scope.
+	Packages []string
+}
+
+// Applies reports whether the analyzer gates the package at path.
+func (s ScopedAnalyzer) Applies(path string) bool {
+	for _, p := range s.Packages {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+const (
+	pkgCrypto    = "enclaves/internal/crypto"
+	pkgCore      = "enclaves/internal/core"
+	pkgMember    = "enclaves/internal/member"
+	pkgGroup     = "enclaves/internal/group"
+	pkgWire      = "enclaves/internal/wire"
+	pkgTransport = "enclaves/internal/transport"
+	pkgLegacy    = "enclaves/internal/legacy"
+)
+
+// Registry returns every analyzer with its package scope.
+//
+//   - cryptorand: the protocol packages named by the invariant; faultnet is
+//     exempt (seeded determinism is its purpose), as are examples/ and the
+//     attack driver.
+//   - sealunderlock: every package that both locks and seals or sends —
+//     including legacy, whose frozen baseline documents its exemptions.
+//   - cachedcipher: hot-path packages only; legacy and attack use the
+//     one-shot helpers by design (the legacy protocol is the frozen
+//     vulnerable baseline, not a hot path).
+//   - wireexhaustive: every package that dispatches on wire enums.
+//   - keyhygiene: every package that handles key material.
+func Registry() []ScopedAnalyzer {
+	return []ScopedAnalyzer{
+		{CryptoRand, []string{pkgCrypto, pkgCore, pkgMember, pkgGroup, pkgWire}},
+		{SealUnderLock, []string{pkgCore, pkgMember, pkgGroup, pkgTransport, pkgLegacy}},
+		{CachedCipher, []string{pkgCore, pkgMember, pkgGroup}},
+		{WireExhaustive, []string{pkgCore, pkgMember, pkgGroup, pkgLegacy, pkgWire}},
+		{KeyHygiene, []string{pkgCrypto, pkgCore, pkgMember, pkgGroup, pkgWire, pkgLegacy}},
+	}
+}
+
+// All returns the five analyzers without scope, for tests and tools that
+// want to run one analyzer over arbitrary code.
+func All() []*Analyzer {
+	return []*Analyzer{CryptoRand, SealUnderLock, CachedCipher, WireExhaustive, KeyHygiene}
+}

@@ -1,0 +1,50 @@
+package analyzers
+
+import "testing"
+
+// TestRegistryScope pins which packages each analyzer gates — the scope
+// table is part of the contract (faultnet's seeded randomness and legacy's
+// one-shot ciphers are deliberate, not oversights).
+func TestRegistryScope(t *testing.T) {
+	byName := map[string]ScopedAnalyzer{}
+	for _, sa := range Registry() {
+		byName[sa.Name] = sa
+	}
+	if len(byName) != 5 {
+		t.Fatalf("registry has %d analyzers, want 5", len(byName))
+	}
+	cases := []struct {
+		analyzer string
+		path     string
+		want     bool
+	}{
+		{"cryptorand", "enclaves/internal/crypto", true},
+		{"cryptorand", "enclaves/internal/wire", true},
+		{"cryptorand", "enclaves/internal/faultnet", false}, // seeded by design
+		{"cryptorand", "enclaves/examples/membership", false},
+		{"sealunderlock", "enclaves/internal/group", true},
+		{"sealunderlock", "enclaves/internal/legacy", true},
+		{"sealunderlock", "enclaves/internal/crypto", false}, // no locks there
+		{"cachedcipher", "enclaves/internal/core", true},
+		{"cachedcipher", "enclaves/internal/legacy", false}, // one-shot by design
+		{"cachedcipher", "enclaves/internal/attack", false},
+		{"wireexhaustive", "enclaves/internal/wire", true},
+		{"wireexhaustive", "enclaves/internal/legacy", true},
+		{"wireexhaustive", "enclaves/internal/transport", false},
+		{"keyhygiene", "enclaves/internal/crypto", true},
+		{"keyhygiene", "enclaves/internal/legacy", true},
+		{"keyhygiene", "enclaves/internal/faultnet", false},
+	}
+	for _, c := range cases {
+		sa, ok := byName[c.analyzer]
+		if !ok {
+			t.Fatalf("analyzer %s not registered", c.analyzer)
+		}
+		if got := sa.Applies(c.path); got != c.want {
+			t.Errorf("%s.Applies(%s) = %v, want %v", c.analyzer, c.path, got, c.want)
+		}
+	}
+	if len(All()) != 5 {
+		t.Errorf("All() returned %d analyzers, want 5", len(All()))
+	}
+}

@@ -1,0 +1,22 @@
+package cachedcipher
+
+import (
+	"enclaves/internal/crypto"
+)
+
+// sealCached is the PR 3 shape: one NewCipher, then cheap per-message calls.
+func sealCached(k crypto.Key, msgs [][]byte) ([][]byte, error) {
+	c, err := crypto.NewCipher(k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, 0, len(msgs))
+	for _, m := range msgs {
+		box, err := c.Seal(m, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, box)
+	}
+	return out, nil
+}

@@ -1,0 +1,21 @@
+package cryptorand
+
+import (
+	"math/rand" // want `crypto material must come from crypto/rand`
+	"time"
+)
+
+// jitter draws protocol timing from a guessable stream.
+func jitter() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(100)
+}
+
+type prng struct{ state int64 }
+
+func (p *prng) Seed(v int64) { p.state = v }
+
+// seedFromClock recreates the classic predictable-seed bug.
+func seedFromClock(p *prng) {
+	p.Seed(time.Now().UnixNano()) // want `seeded from the clock`
+}

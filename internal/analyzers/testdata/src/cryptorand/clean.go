@@ -1,0 +1,15 @@
+package cryptorand
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+)
+
+// nonce draws from the kernel CSPRNG, as every protocol package must.
+func nonce() (uint64, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b[:]), nil
+}

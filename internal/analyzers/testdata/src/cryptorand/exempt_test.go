@@ -1,0 +1,14 @@
+package cryptorand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Tests may use seeded determinism freely: _test.go files are exempt.
+func TestDeterministicDraw(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if r.Intn(10) < 0 {
+		t.Fatal("impossible")
+	}
+}

@@ -1,0 +1,24 @@
+package keyhygiene
+
+import (
+	"fmt"
+
+	"enclaves/internal/crypto"
+)
+
+// report logs only redacted forms: Key's own String, the fingerprint, and
+// non-secret names.
+func report(k crypto.Key, keyID string) Event {
+	fmt.Printf("installed %s (id %s)\n", k, keyID)
+	fmt.Printf("fingerprint: %x\n", k.Fingerprint())
+	return Event{
+		Kind:   "rekey",
+		Detail: k.String(),
+	}
+}
+
+// seal keeps raw bytes inside the crypto boundary: passing key material to
+// the AEAD is the point, not a leak.
+func seal(k crypto.Key, plain []byte) ([]byte, error) {
+	return crypto.Seal(k, plain, nil)
+}

@@ -1,0 +1,26 @@
+package wireexhaustive
+
+import "testing"
+
+// FuzzDispatchFull seeds every Kind: the complete-corpus clean case.
+func FuzzDispatchFull(f *testing.F) {
+	seeds := []Kind{KindJoin, KindLeave, KindRekey}
+	for _, k := range seeds {
+		f.Add(uint8(k))
+	}
+	f.Fuzz(func(t *testing.T, raw uint8) {
+		_ = applyDefault(bodyFor(Kind(raw)))
+	})
+}
+
+// bodyFor maps a Kind to a Body for the fuzz driver.
+func bodyFor(k Kind) Body {
+	switch k {
+	case KindLeave:
+		return leaveBody{}
+	case KindRekey:
+		return rekeyBody{}
+	default:
+		return joinBody{}
+	}
+}

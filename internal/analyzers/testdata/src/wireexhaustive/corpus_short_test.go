@@ -1,0 +1,15 @@
+package wireexhaustive
+
+import "testing"
+
+// FuzzDispatchShort engages the Kind enum in its seed corpus but skips
+// KindRekey: mutation will never reach the rekey parser edges.
+func FuzzDispatchShort(f *testing.F) { // want `never exercises KindRekey`
+	seeds := []Kind{KindJoin, KindLeave}
+	for _, k := range seeds {
+		f.Add(uint8(k))
+	}
+	f.Fuzz(func(t *testing.T, raw uint8) {
+		_ = dispatchDefault(Kind(raw))
+	})
+}

@@ -1,0 +1,44 @@
+package wireexhaustive
+
+// Kind is a miniature wire.Type: a named integer enum with a package-level
+// constant set.
+type Kind uint8
+
+const (
+	KindJoin Kind = iota + 1
+	KindLeave
+	KindRekey
+)
+
+// dispatchMissing drops KindRekey on the floor: the liveness bug the
+// analyzer exists to catch.
+func dispatchMissing(k Kind) int {
+	switch k { // want `misses KindRekey and has no default`
+	case KindJoin:
+		return 1
+	case KindLeave:
+		return 2
+	}
+	return 0
+}
+
+// dispatchDefault is fine: the author wrote an explicit fallback.
+func dispatchDefault(k Kind) int {
+	switch k {
+	case KindJoin:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// dispatchFull is fine: every constant is handled.
+func dispatchFull(k Kind) int {
+	switch k {
+	case KindJoin:
+		return 1
+	case KindLeave, KindRekey:
+		return 2
+	}
+	return 0
+}

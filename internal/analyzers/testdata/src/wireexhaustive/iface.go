@@ -1,0 +1,54 @@
+package wireexhaustive
+
+// Body is a miniature wire.AdminBody: a named interface whose concrete
+// implementations all live in this package.
+type Body interface {
+	kind() Kind
+}
+
+type joinBody struct{ name string }
+
+func (joinBody) kind() Kind { return KindJoin }
+
+type leaveBody struct{ name string }
+
+func (leaveBody) kind() Kind { return KindLeave }
+
+type rekeyBody struct{ epoch uint64 }
+
+func (rekeyBody) kind() Kind { return KindRekey }
+
+// applyMissing silently ignores rekeys.
+func applyMissing(b Body) string {
+	switch b.(type) { // want `misses implementation\(s\) rekeyBody and has no default`
+	case joinBody:
+		return "join"
+	case leaveBody:
+		return "leave"
+	}
+	return ""
+}
+
+// applyDefault carries an explicit fallback.
+func applyDefault(b Body) string {
+	switch b.(type) {
+	case joinBody:
+		return "join"
+	default:
+		return "other"
+	}
+}
+
+// applyFull covers every implementation.
+func applyFull(b Body) string {
+	switch v := b.(type) {
+	case joinBody:
+		return v.name
+	case leaveBody:
+		return v.name
+	case rekeyBody:
+		_ = v.epoch
+		return "rekey"
+	}
+	return ""
+}

@@ -268,6 +268,10 @@ func (m *Member) handle(env wire.Envelope) {
 		m.handleAppData(env)
 	case wire.TypeCloseConn:
 		// Leader confirmed our close; the loop ends when the conn drops.
+	default:
+		// Frames outside the member's role (auth handshakes, acks meant
+		// for the leader) are dropped, matching the paper's Section 2
+		// behavior of ignoring out-of-state messages.
 	}
 }
 
@@ -275,17 +279,21 @@ func (m *Member) handle(env wire.Envelope) {
 // no epoch comparison. A replayed old new_key therefore reinstalls an old,
 // possibly compromised group key (attack A3).
 func (m *Member) handleNewKey(env wire.Envelope) {
+	// Decrypt on a key copy with the lock released: the AEAD open is pure
+	// CPU, and recvLoop is the only goroutine that mutates key state, so
+	// nothing can change m.sessionKey between the copy and the relock.
 	m.mu.Lock()
-	plain, err := crypto.Open(m.sessionKey, env.Payload, env.Header())
+	sessionKey := m.sessionKey
+	m.mu.Unlock()
+	plain, err := crypto.Open(sessionKey, env.Payload, env.Header())
 	if err != nil {
-		m.mu.Unlock()
 		return
 	}
 	p, err := wire.UnmarshalLegacyNewKey(plain)
 	if err != nil {
-		m.mu.Unlock()
 		return
 	}
+	m.mu.Lock()
 	m.groupKey = p.GroupKey
 	m.epoch = p.GroupEpoch
 	if p.GroupEpoch > m.maxEpoch {
@@ -309,17 +317,19 @@ func (m *Member) handleNewKey(env wire.Envelope) {
 // group key — which every member shares, so insiders can forge membership
 // changes (attack A2).
 func (m *Member) handleMembership(env wire.Envelope) {
+	// Same pattern as handleNewKey: open on a key copy off the lock.
 	m.mu.Lock()
-	plain, err := crypto.Open(m.groupKey, env.Payload, env.Header())
+	groupKey := m.groupKey
+	m.mu.Unlock()
+	plain, err := crypto.Open(groupKey, env.Payload, env.Header())
 	if err != nil {
-		m.mu.Unlock()
 		return
 	}
 	p, err := wire.UnmarshalLegacyMember(plain)
 	if err != nil {
-		m.mu.Unlock()
 		return
 	}
+	m.mu.Lock()
 	var ev Event
 	if env.Type == wire.TypeMemAdded {
 		m.view[p.Name] = true
