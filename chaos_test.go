@@ -2,6 +2,7 @@ package enclaves
 
 import (
 	"flag"
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -368,6 +369,323 @@ func TestChaosSoak(t *testing.T) {
 		counterValue(t, "group_heartbeats_total"),
 		counterValue(t, "member_rejoins_total"),
 		counterValue(t, "faultnet_dropped_total"))
+}
+
+// TestChaosSoakLarge drives the sharded paths at soak scale: ~512 members
+// (500 bulk members joining in 64-way-concurrent waves under a coalescing
+// rekey window, 8 session-backed members riding the same fault plan as
+// TestChaosSoak) plus one silently dead victim for the liveness layer.
+//
+// Beyond surviving, the run must reconcile: with DefaultRekeyPolicy every
+// join, leave, and eviction is exactly one rotation trigger, and under
+// coalescing each trigger either produces an EventRekeyed or increments
+// group_rekeys_coalesced_total — never both, never neither. At quiescence:
+//
+//	joins + leaves + evictions == rekeys + coalesced-counter delta
+//	final epoch == 1 + rekeys
+//
+// and the join storm must have folded (strictly fewer rotations than
+// triggers, a non-zero coalesced delta), while every surviving bulk member
+// still converges to the final epoch — the parallel fan-out really
+// delivered the coalesced NewGroupKey broadcasts.
+func TestChaosSoakLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const (
+		leaderName = "leader"
+		nsess      = 8
+		leavers    = 32
+		victim     = "victim"
+		window     = 25 * time.Millisecond
+	)
+	bulk := 500
+	if raceEnabled {
+		// The race detector's slowdown makes the quadratic join-storm setup
+		// a timeout at full size; the interleavings it checks are all
+		// present at a fraction of the membership.
+		bulk = 96
+	}
+	bulkNames := userNames(bulk)
+	sessNames := make([]string, nsess)
+	for i := range sessNames {
+		sessNames[i] = fmt.Sprintf("chaos%d", i)
+	}
+	all := append(append([]string{}, bulkNames...), sessNames...)
+	all = append(all, victim)
+	keys := benchKeys(all...)
+
+	prevMetrics := metrics.Enabled()
+	metrics.Enable()
+	defer func() {
+		if !prevMetrics {
+			metrics.Disable()
+		}
+	}()
+	evictionsBefore := counterValue(t, "group_evictions_total")
+	coalescedBefore := counterValue(t, "group_rekeys_coalesced_total")
+
+	var audit struct {
+		mu     sync.Mutex
+		events []group.Event
+	}
+	countKind := func(k group.EventKind) uint64 {
+		audit.mu.Lock()
+		defer audit.mu.Unlock()
+		var n uint64
+		for _, e := range audit.events {
+			if e.Kind == k {
+				n++
+			}
+		}
+		return n
+	}
+	findEvent := func(kind group.EventKind, user string) (group.Event, bool) {
+		audit.mu.Lock()
+		defer audit.mu.Unlock()
+		for _, e := range audit.events {
+			if e.Kind == kind && e.User == user {
+				return e, true
+			}
+		}
+		return group.Event{}, false
+	}
+
+	g, err := group.NewLeader(group.Config{
+		Name:          leaderName,
+		Users:         keys,
+		Rekey:         group.DefaultRekeyPolicy(),
+		RekeyCoalesce: window,
+		OnEvent:       func(e group.Event) { audit.mu.Lock(); audit.events = append(audit.events, e); audit.mu.Unlock() },
+		Liveness: group.Liveness{
+			HeartbeatInterval: 100 * time.Millisecond,
+			AckTimeout:        2 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	inner := transport.NewMemNetwork()
+	defer inner.Close()
+	l, err := inner.Listen(leaderName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go g.Serve(l)
+
+	// Epoch monotonicity under the full storm.
+	var epochViolations atomic.Int64
+	samplerDone := make(chan struct{})
+	go func() {
+		var last uint64
+		for {
+			e := g.Epoch()
+			if e < last {
+				epochViolations.Add(1)
+			}
+			last = e
+			select {
+			case <-samplerDone:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}()
+
+	// The bulk join storm: 64-way-concurrent authenticated joins over clean
+	// links, every member draining (and thereby acking) on its own goroutine.
+	members := joinAll(t, inner, bulkNames, keys)
+	for _, m := range members {
+		go drainMember(m)
+	}
+	waitUntil(t, "bulk members registered", 60*time.Second, func() bool {
+		return len(g.Members()) == bulk
+	})
+
+	// The chaos contingent: sessions with auto-rejoin behind the seeded
+	// fault plan (drops, dup, reorder, one partition, healing at 900ms).
+	fnet := faultnet.NewNetwork(inner, faultnet.Plan{
+		Seed:       *chaosSeedFlag,
+		Outbound:   faultnet.DirFaults{Drop: 0.08, Dup: 0.05, Reorder: 0.15},
+		Inbound:    faultnet.DirFaults{Drop: 0.08, Reorder: 0.10},
+		Partitions: []faultnet.Partition{{Start: 300 * time.Millisecond, Stop: 500 * time.Millisecond}},
+		Heal:       900 * time.Millisecond,
+	})
+	sessions := make([]*member.Session, nsess)
+	var seen [](*payloadSet)
+	for i := 0; i < nsess; i++ {
+		u := sessNames[i]
+		cfg := member.SessionConfig{
+			User: u,
+			Endpoints: []member.Endpoint{{
+				Leader:   leaderName,
+				LongTerm: keys[u],
+				Dial:     func() (transport.Conn, error) { return fnet.Dial(leaderName) },
+			}},
+			Backoff:        20 * time.Millisecond,
+			ReadyTimeout:   5 * time.Second,
+			SilenceTimeout: 2 * time.Second,
+		}
+		var s *member.Session
+		for attempt := 0; ; attempt++ {
+			s, err = member.NewSession(cfg)
+			if err == nil {
+				break
+			}
+			if attempt >= 20 {
+				t.Fatalf("join %s: %v", u, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		defer s.Close()
+		sessions[i] = s
+		ps := newPayloadSet()
+		seen = append(seen, ps)
+		go func() {
+			for {
+				ev, err := s.Next()
+				if err != nil {
+					return
+				}
+				if ev.Kind == member.EventData {
+					ps.add(string(ev.Data))
+				}
+			}
+		}()
+	}
+
+	// The victim authenticates on a clean link and never acks again; a drain
+	// keeps the pipe from backing up so only the liveness layer can kill it.
+	victimConn := silentJoin(t, inner, leaderName, victim, keys[victim])
+	defer victimConn.Close()
+	go func() {
+		for {
+			if _, err := victimConn.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	waitUntil(t, "victim accepted", 30*time.Second, func() bool {
+		for _, m := range g.Members() {
+			if m == victim {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Multicast churn across the chaos window: every send now fans out to
+	// ~510 outboxes through the worker pool.
+	for round := 0; round < 30; round++ {
+		sessions[round%nsess].SendData([]byte("churn")) // ErrDown while rejoining is fine
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	waitUntil(t, "victim evicted", 30*time.Second, func() bool {
+		_, ok := findEvent(group.EventEvicted, victim)
+		return ok
+	})
+	ev, _ := findEvent(group.EventEvicted, victim)
+	if !strings.Contains(ev.Detail, "ack deadline") {
+		t.Fatalf("eviction detail = %q, want ack-deadline cause", ev.Detail)
+	}
+	// Under coalescing the eviction's rotation may be debounced, but it must
+	// land: the group moves past the epoch the victim last saw.
+	waitUntil(t, "post-eviction rekey", 10*time.Second, func() bool {
+		return g.Epoch() > ev.Epoch
+	})
+
+	// A coalesced leave burst on top: some bulk members sign off together.
+	var wgLeave sync.WaitGroup
+	for _, m := range members[:leavers] {
+		wgLeave.Add(1)
+		go func(m *member.Member) {
+			defer wgLeave.Done()
+			m.Leave()
+		}(m)
+	}
+	wgLeave.Wait()
+	survivors := members[leavers:]
+
+	// Quiescence: no pending window, all sessions healed and up, stable
+	// membership. The reconciliation identity becoming true (and staying
+	// true) is itself the quiescence signal.
+	identity := func() (triggers, rekeys, coalesced uint64, ok bool) {
+		triggers = countKind(group.EventJoined) + countKind(group.EventLeft) + countKind(group.EventEvicted)
+		rekeys = countKind(group.EventRekeyed)
+		coalesced = counterValue(t, "group_rekeys_coalesced_total") - coalescedBefore
+		return triggers, rekeys, coalesced, triggers == rekeys+coalesced
+	}
+	waitUntil(t, "audit reconciliation identity", 60*time.Second, func() bool {
+		if len(g.Members()) != bulk-leavers+nsess {
+			return false
+		}
+		_, _, _, ok := identity()
+		return ok
+	})
+	// Let any straggler window fire, then the identity must still hold and
+	// the epoch must be exactly 1 + rotations.
+	time.Sleep(4 * window)
+	triggers, rekeys, coalesced, ok := identity()
+	if !ok {
+		t.Fatalf("reconciliation broke after quiescence: %d triggers != %d rekeys + %d coalesced", triggers, rekeys, coalesced)
+	}
+	if e := g.Epoch(); e != 1+rekeys {
+		t.Fatalf("epoch %d != 1 + %d audit rekeys", e, rekeys)
+	}
+	if coalesced == 0 {
+		t.Fatal("a 500-member join storm coalesced nothing; the window never folded a burst")
+	}
+	if rekeys >= triggers {
+		t.Fatalf("coalescing saved nothing: %d rotations for %d triggers", rekeys, triggers)
+	}
+
+	// Every surviving bulk member converges on the final coalesced epoch:
+	// the parallel fan-out delivered the last NewGroupKey to all ~476
+	// outboxes.
+	waitUntil(t, "survivors converge to the final epoch", 60*time.Second, func() bool {
+		want := g.Epoch()
+		for _, m := range survivors {
+			if m.Epoch() != want {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Post-heal proof of a consistent group key across the chaos contingent.
+	const probe = "post-heal-probe"
+	waitUntil(t, "post-heal multicast reaches all sessions", 30*time.Second, func() bool {
+		if err := sessions[0].SendData([]byte(probe)); err != nil {
+			return false
+		}
+		for _, ps := range seen[1:] {
+			if !ps.has(probe) {
+				return false
+			}
+		}
+		return true
+	})
+
+	close(samplerDone)
+	if v := epochViolations.Load(); v != 0 {
+		t.Fatalf("leader epoch moved backwards %d times", v)
+	}
+	if s := fnet.Stats(); s.Dropped == 0 {
+		t.Fatalf("fault plan injected no faults: %+v", s)
+	}
+	// Metrics/audit agreement on evictions, as in the base soak.
+	waitUntil(t, "eviction counter to reconcile with audit log", 10*time.Second, func() bool {
+		return counterValue(t, "group_evictions_total")-evictionsBefore == countKind(group.EventEvicted)
+	})
+	t.Logf("large soak: members=%d triggers=%d rekeys=%d coalesced=%d final_epoch=%d",
+		len(g.Members()), triggers, rekeys, coalesced, g.Epoch())
+
+	for _, m := range survivors {
+		m.Leave()
+	}
 }
 
 // silentJoin completes the three-message authenticated join with the core

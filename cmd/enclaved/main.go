@@ -4,7 +4,8 @@
 // Usage:
 //
 //	enclaved -addr 127.0.0.1:7465 -name leader -users users.txt [-rekey join,leave]
-//	         [-heartbeat 2s] [-ack-timeout 10s] [-outbox 1024] [-metrics-addr 127.0.0.1:9465]
+//	         [-rekey-coalesce 5ms] [-fanout-workers 8] [-heartbeat 2s] [-ack-timeout 10s]
+//	         [-outbox 1024] [-metrics-addr 127.0.0.1:9465]
 //
 // The users file holds one "name:password" pair per line; lines starting
 // with # are ignored. Passwords are the long-term secrets from which the
@@ -18,6 +19,13 @@
 // silently dead member would otherwise keep open. -outbox bounds each
 // member's outbound queue; a consumer slow enough to overflow it is
 // likewise expelled. Zero disables the respective mechanism.
+//
+// -rekey-coalesce and -fanout-workers tune the leader for large groups:
+// the former folds a burst of join/leave-triggered key rotations into one
+// epoch bump per window (expulsions and explicit rekeys stay immediate;
+// departed members still never receive a post-departure key), and the
+// latter sizes the worker pool that pushes broadcast frames to member
+// outboxes in parallel.
 //
 // -metrics-addr enables metrics collection and serves an operations
 // endpoint on the given address: GET /metrics returns a flat JSON snapshot
@@ -71,6 +79,8 @@ func run(args []string) error {
 		heartbeat   = fs.Duration("heartbeat", 2*time.Second, "idle-member heartbeat interval (0 disables liveness probing)")
 		ackWait     = fs.Duration("ack-timeout", 10*time.Second, "expel a member whose admin ack is overdue by this much (0 disables)")
 		outbox      = fs.Int("outbox", 1024, "per-member outbound queue bound; overflow expels the member (<0 = unbounded)")
+		coalesce    = fs.Duration("rekey-coalesce", 0, "fold join/leave rekey bursts into one rotation per window (0 = rotate immediately)")
+		fanWorkers  = fs.Int("fanout-workers", 0, "broadcast fan-out worker pool size (0 = GOMAXPROCS-derived, <0 = sequential)")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics (JSON snapshot) and /debug/pprof on this address (empty disables collection)")
 		verbose     = fs.Bool("v", false, "verbose logging")
 	)
@@ -105,7 +115,9 @@ func run(args []string) error {
 			HeartbeatInterval: *heartbeat,
 			AckTimeout:        *ackWait,
 		},
-		OutboxLimit: *outbox,
+		OutboxLimit:   *outbox,
+		RekeyCoalesce: *coalesce,
+		FanoutWorkers: *fanWorkers,
 	})
 	if err != nil {
 		return err
@@ -124,8 +136,8 @@ func run(args []string) error {
 		defer srv.Close()
 		log.Printf("enclaved: metrics on http://%s/metrics, pprof on http://%s/debug/pprof/", maddr, maddr)
 	}
-	log.Printf("enclaved: leader %q serving %d users on %s (rekey on %s, heartbeat %v, ack timeout %v, outbox %d)",
-		*name, len(users), l.Addr(), *rekeyOn, *heartbeat, *ackWait, *outbox)
+	log.Printf("enclaved: leader %q serving %d users on %s (rekey on %s, coalesce %v, heartbeat %v, ack timeout %v, outbox %d, fan-out workers %d)",
+		*name, len(users), l.Addr(), *rekeyOn, *coalesce, *heartbeat, *ackWait, *outbox, *fanWorkers)
 
 	// Graceful shutdown on SIGINT/SIGTERM: close the listener and every
 	// member connection, then exit cleanly.

@@ -78,6 +78,30 @@ func isPkgFunc(f *types.Func, pkgPath, name string) bool {
 	return recvType(f) == nil
 }
 
+// isLockWrapper reports whether t (through pointers/aliases) is a named
+// struct carrying a sync.Mutex or sync.RWMutex field — value or pointer,
+// named or embedded. This is the shape of a lock-stripe wrapper whose
+// Lock/Unlock methods forward to the inner mutex (internal/group's registry
+// stripe); holding one is holding a mutex as far as the seal-under-lock
+// invariant is concerned.
+func isLockWrapper(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if typeIs(ft, "sync", "Mutex") || typeIs(ft, "sync", "RWMutex") {
+			return true
+		}
+	}
+	return false
+}
+
 // isMethod reports whether f is a method named name whose receiver is the
 // named type pkgPath.typeName (pointer or value).
 func isMethod(f *types.Func, pkgPath, typeName, name string) bool {

@@ -3,6 +3,7 @@ package analyzers
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -135,6 +136,16 @@ func LoadDir(dir, importPath string) ([]*Unit, error) {
 	var names []string
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		// Honor build constraints for the default context: files excluded by
+		// //go:build lines or GOOS/GOARCH filename suffixes (a !race stub and
+		// its race twin, say) must not be type-checked into one unit.
+		match, err := build.Default.MatchFile(dir, e.Name())
+		if err != nil {
+			return nil, err
+		}
+		if !match {
 			continue
 		}
 		names = append(names, e.Name())

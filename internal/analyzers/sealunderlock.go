@@ -293,8 +293,11 @@ const (
 )
 
 // mutexOp recognizes X.Lock / X.RLock / X.TryLock / X.Unlock / X.RUnlock
-// calls on sync.Mutex / sync.RWMutex receivers, keyed by the receiver
-// expression's text.
+// calls, keyed by the receiver expression's text. Receivers are
+// sync.Mutex / sync.RWMutex, or a lock-wrapper: a named struct with its own
+// Lock/Unlock methods forwarding to an embedded or named mutex field (the
+// registry stripe in internal/group). Holding a wrapper is holding its
+// inner mutex, so a Seal or Send under it is the same serialization bug.
 func (w *lockWalker) mutexOp(call *ast.CallExpr) (key string, op mutexOpKind) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
@@ -316,7 +319,7 @@ func (w *lockWalker) mutexOp(call *ast.CallExpr) (key string, op mutexOpKind) {
 	if rt == nil {
 		return "", opNone
 	}
-	if !typeIs(rt, "sync", "Mutex") && !typeIs(rt, "sync", "RWMutex") {
+	if !typeIs(rt, "sync", "Mutex") && !typeIs(rt, "sync", "RWMutex") && !isLockWrapper(rt) {
 		return "", opNone
 	}
 	return types.ExprString(sel.X), op

@@ -1,0 +1,62 @@
+package sealunderlock
+
+import (
+	"sync"
+
+	"enclaves/internal/crypto"
+	"enclaves/internal/transport"
+	"enclaves/internal/wire"
+)
+
+// stripe is the lock-wrapper shape from the sharded member registry: a
+// named struct wrapping a mutex behind its own Lock/Unlock methods. The
+// analyzer must see through the wrapper — holding a stripe IS holding its
+// inner mutex.
+type stripe struct {
+	mu    sync.Mutex
+	conns map[string]transport.Conn
+}
+
+func (s *stripe) Lock()   { s.mu.Lock() }
+func (s *stripe) Unlock() { s.mu.Unlock() }
+
+type shardedHub struct {
+	stripes []stripe
+	cipher  *crypto.Cipher
+}
+
+// sealUnderStripe re-creates the PR 2 bug one layer up: AES-GCM work while
+// a registry stripe is held serializes every member hashed to that stripe.
+func (h *shardedHub) sealUnderStripe(i int, plain []byte) ([]byte, error) {
+	st := &h.stripes[i]
+	st.Lock()
+	defer st.Unlock()
+	return h.cipher.Seal(plain, nil) // want `AEAD Cipher\.Seal while holding st`
+}
+
+// sendUnderStripe blocks a whole stripe behind one peer's TCP window.
+func (h *shardedHub) sendUnderStripe(i int, user string, env wire.Envelope) error {
+	st := &h.stripes[i]
+	st.Lock()
+	err := st.conns[user].Send(env) // want `transport Send while holding st`
+	st.Unlock()
+	return err
+}
+
+// snapshotThenSend is the sanctioned pattern: hold the stripe only to copy
+// the targets out, seal and send after release.
+func (h *shardedHub) snapshotThenSend(i int, env wire.Envelope) error {
+	st := &h.stripes[i]
+	st.Lock()
+	targets := make([]transport.Conn, 0, len(st.conns))
+	for _, c := range st.conns {
+		targets = append(targets, c)
+	}
+	st.Unlock()
+	for _, c := range targets {
+		if err := c.Send(env); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -10,7 +10,6 @@ package group
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -51,6 +50,26 @@ type Config struct {
 	Users map[string]crypto.Key
 	// Rekey selects the group-key rotation policy.
 	Rekey RekeyPolicy
+	// RekeyCoalesce debounces policy-triggered rotations: a burst of
+	// join/leave rekeys landing inside the window folds into one epoch bump
+	// and one NewGroupKey broadcast, turning a k-member churn storm's
+	// k × O(n) rekey broadcasts into a single one (the dominant cost of
+	// dynamic group key management; see EXPERIMENTS.md). Zero (the default)
+	// keeps every rotation immediate. Expel and explicit Rekey calls are
+	// always immediate regardless of the window — an expulsion's forward
+	// secrecy must not wait. See README "Scalability" for the security
+	// argument bounding what the window trades away.
+	RekeyCoalesce time.Duration
+	// FanoutWorkers sizes the pool that parallelizes broadcast fan-out
+	// across member outboxes. Zero selects the default (GOMAXPROCS capped
+	// at 16); 1 or negative disables the pool and keeps the sequential
+	// fan-out. Small groups take the sequential path regardless, so the
+	// pool only changes behavior at scale.
+	FanoutWorkers int
+	// Shards overrides the member-registry stripe count (rounded up to a
+	// power of two). Zero selects a default sized from GOMAXPROCS. Exposed
+	// mainly for tests; the default is right for production.
+	Shards int
 	// Logf, if non-nil, receives diagnostic log lines.
 	Logf func(format string, args ...any)
 	// OnEvent, if non-nil, receives audit events (joins, leaves,
@@ -71,22 +90,40 @@ type Config struct {
 // defaultOutboxLimit bounds per-member outbound queues unless overridden.
 const defaultOutboxLimit = 1024
 
+// errLeaderClosed is returned by operations on a closed leader.
+var errLeaderClosed = errors.New("group: leader closed")
+
 // Leader is a running Enclaves group leader.
 type Leader struct {
 	name      string
 	rekey     RekeyPolicy
+	coalesce  time.Duration
 	logf      func(string, ...any)
 	audit     *auditor
 	liveness  Liveness
 	outboxCap int
 
+	// reg is the sharded member registry. Mutations happen under mu (plus
+	// the owning stripe); reads — relay snapshots, liveness sweeps,
+	// Members() — take only stripe locks. See shard.go for the full rule.
+	reg *registry
+	// fan parallelizes broadcast fan-out; nil means sequential.
+	fan *fanout
+
 	mu       sync.Mutex
 	users    map[string]crypto.Key
-	sessions map[string]*memberConn // accepted members by name
 	groupKey crypto.Key
 	epoch    uint64
 	closed   bool
 	conns    map[transport.Conn]bool // every live connection, accepted or not
+	// rekeyPending/rekeyTimer implement the coalescing window: the first
+	// debounced trigger arms the timer, later triggers inside the window
+	// fold into it, and any immediate rotation absorbs the pending one.
+	rekeyPending bool
+	rekeyTimer   *time.Timer
+	// bcastBuf is the reusable fan-out snapshot for admin broadcasts; it is
+	// only touched under mu, so one buffer serves every broadcast.
+	bcastBuf []*memberConn
 
 	stop chan struct{} // closed by Close; ends the liveness loop
 	wg   sync.WaitGroup
@@ -100,11 +137,15 @@ type memberConn struct {
 	user string
 	conn transport.Conn
 	out  *queue.Queue[outFrame]
+	// slot is the member's fixed stripe in the outbox-depth gauge (its
+	// registry stripe index), so push/drain pairs land on the same slot and
+	// concurrent fan-out workers rarely collide on one atomic.
+	slot int
 
 	// mu guards the protocol engine and the retransmit bookkeeping below,
 	// so AEAD sealing and ack handling contend per member instead of on
-	// Leader.mu. Lock order: Leader.mu may be held when taking mu; never
-	// acquire Leader.mu while holding mu.
+	// Leader.mu. Lock order: Leader.mu and a registry stripe may be held
+	// when taking mu; never acquire either while holding mu.
 	mu     sync.Mutex
 	engine *core.LeaderSession
 	// unacked is the FIFO of emitted-but-unacknowledged AdminMsgs, keyed by
@@ -134,20 +175,22 @@ type outFrame struct {
 
 // pushOut enqueues one outbox frame, stepping the aggregate depth gauge
 // only when the enqueue succeeds; the writer goroutine (and the teardown
-// drain) retire frames with outboxDrained, so the gauge reports the total
-// number of queued frames across all members at any instant.
+// drain) retire frames with drained, so the gauge reports the total number
+// of queued frames across all members at any instant. Push and drain use
+// the member's fixed gauge stripe, keeping the aggregate exact without
+// funneling every fan-out worker through one atomic.
 func (s *memberConn) pushOut(f outFrame) error {
 	err := s.out.Push(f)
 	if err == nil {
-		mOutboxDepth.Add(1)
+		mOutboxDepth.Add(s.slot, 1)
 	}
 	return err
 }
 
-// outboxDrained retires n popped frames from the aggregate depth gauge.
-func outboxDrained(n int) {
+// drained retires n popped frames from the aggregate depth gauge.
+func (s *memberConn) drained(n int) {
 	if n > 0 {
-		mOutboxDepth.Add(-int64(n))
+		mOutboxDepth.Add(s.slot, -int64(n))
 	}
 }
 
@@ -217,15 +260,29 @@ func NewLeader(cfg Config) (*Leader, error) {
 	} else if outboxCap < 0 {
 		outboxCap = 0 // unbounded
 	}
+	coalesce := cfg.RekeyCoalesce
+	if coalesce < 0 {
+		coalesce = 0
+	}
+	workers := cfg.FanoutWorkers
+	if workers == 0 {
+		workers = defaultFanoutWorkers()
+	}
+	var fan *fanout
+	if workers > 1 {
+		fan = newFanout(workers)
+	}
 	g := &Leader{
 		name:      cfg.Name,
 		rekey:     cfg.Rekey,
+		coalesce:  coalesce,
 		logf:      logf,
 		audit:     audit,
 		liveness:  cfg.Liveness,
 		outboxCap: outboxCap,
+		reg:       newRegistry(cfg.Shards),
+		fan:       fan,
 		users:     users,
-		sessions:  make(map[string]*memberConn),
 		conns:     make(map[transport.Conn]bool),
 		groupKey:  kg,
 		epoch:     1,
@@ -241,20 +298,11 @@ func NewLeader(cfg Config) (*Leader, error) {
 // Name returns the leader's identity.
 func (g *Leader) Name() string { return g.name }
 
-// Members returns the current membership in sorted order.
+// Members returns the current membership in sorted order. It reads only
+// the registry stripes, never Leader.mu, so monitoring cannot stall the
+// control plane.
 func (g *Leader) Members() []string {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.membersLocked()
-}
-
-func (g *Leader) membersLocked() []string {
-	out := make([]string, 0, len(g.sessions))
-	for u := range g.sessions {
-		out = append(out, u)
-	}
-	sort.Strings(out)
-	return out
+	return g.reg.names()
 }
 
 // Epoch returns the current group-key epoch.
@@ -306,7 +354,8 @@ func (g *Leader) Serve(l transport.Listener) error {
 }
 
 // Close disconnects every connection (accepted or mid-handshake) and stops
-// serving.
+// serving. A pending coalesced rekey is cancelled: there is no one left to
+// rotate for.
 func (g *Leader) Close() {
 	g.mu.Lock()
 	if g.closed {
@@ -315,14 +364,16 @@ func (g *Leader) Close() {
 	}
 	g.closed = true
 	close(g.stop)
+	if g.rekeyTimer != nil {
+		g.rekeyTimer.Stop()
+		g.rekeyTimer = nil
+	}
+	g.rekeyPending = false
 	conns := make([]transport.Conn, 0, len(g.conns))
 	for c := range g.conns {
 		conns = append(conns, c)
 	}
-	sessions := make([]*memberConn, 0, len(g.sessions))
-	for _, s := range g.sessions {
-		sessions = append(sessions, s)
-	}
+	sessions := g.reg.appendAll(nil, "")
 	g.mu.Unlock()
 	for _, s := range sessions {
 		s.out.Close()
@@ -331,18 +382,36 @@ func (g *Leader) Close() {
 		c.Close()
 	}
 	g.wg.Wait()
+	// Every broadcast dispatcher (serveConn handlers, the liveness loop,
+	// the flush timer's closed check) has stopped by now, so the fan-out
+	// pool can drain without racing a late submit.
+	g.fan.close()
 	g.audit.stop()
 }
 
-// Rekey generates and distributes a new group key immediately. Use it for
-// periodic or event-driven policies beyond join/leave.
+// Rekey generates and distributes a new group key immediately — it never
+// waits on the coalescing window. Use it for periodic or event-driven
+// policies beyond join/leave.
 func (g *Leader) Rekey() error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.closed {
+		return errLeaderClosed
+	}
 	return g.rekeyLocked()
 }
 
 func (g *Leader) rekeyLocked() error {
+	// An immediate rotation satisfies any pending debounced one: absorb it
+	// so the window cannot fire a redundant second broadcast.
+	if g.rekeyPending {
+		g.rekeyPending = false
+		if g.rekeyTimer != nil {
+			g.rekeyTimer.Stop()
+			g.rekeyTimer = nil
+		}
+		mRekeysCoalesced.Inc()
+	}
 	kg, err := crypto.NewKey()
 	if err != nil {
 		return err
@@ -358,24 +427,32 @@ func (g *Leader) rekeyLocked() error {
 
 // Expel removes a member against its will (the "variation of this protocol
 // [that] can be used to expel some members", Section 2.2): its connection
-// is dropped, the group is informed, and the key is rotated per policy.
+// is dropped, the group is informed, and the key is rotated per policy —
+// immediately, never coalesced, so the expelled member's last key dies with
+// its membership.
 func (g *Leader) Expel(user string) error {
 	g.mu.Lock()
-	s, ok := g.sessions[user]
-	if !ok {
+	if g.closed {
+		g.mu.Unlock()
+		return errLeaderClosed
+	}
+	s := g.reg.take(user)
+	if s == nil {
 		g.mu.Unlock()
 		return fmt.Errorf("group: %q is not a member", user)
 	}
-	delete(g.sessions, user)
 	mExpels.Inc()
 	mMembers.Add(-1)
-	g.departedLocked(user)
+	g.departedLocked(user, true)
+	// The audit event is stamped while mu is still held: g.epoch here is
+	// exactly the epoch the expulsion rotated to, whereas re-reading it
+	// after release could pick up a concurrent join's later rotation.
+	g.logf("group: expelled %s", user)
+	g.audit.emit(Event{Kind: EventExpelled, User: user, Epoch: g.epoch})
 	g.mu.Unlock()
 
 	s.out.Close()
 	s.conn.Close()
-	g.logf("group: expelled %s", user)
-	g.audit.emit(Event{Kind: EventExpelled, User: user, Epoch: g.Epoch()})
 	return nil
 }
 
@@ -432,6 +509,7 @@ func (g *Leader) serveConn(conn transport.Conn) {
 		conn:   conn,
 		engine: engine,
 		out:    queue.NewBounded[outFrame](g.outboxCap),
+		slot:   g.reg.slotFor(engine.User()),
 	}
 	// Writer goroutine: drains the outbox in batches so broadcasts never
 	// block, seals admin bodies here — outside Leader.mu — so a slow AEAD
@@ -451,7 +529,7 @@ func (g *Leader) serveConn(conn transport.Conn) {
 			if err != nil {
 				return
 			}
-			outboxDrained(len(frames))
+			s.drained(len(frames))
 			batch = batch[:0]
 			for _, f := range frames {
 				if f.enc != nil {
@@ -478,11 +556,10 @@ func (g *Leader) serveConn(conn transport.Conn) {
 	// Connection is gone (clean close or failure): if the member was still
 	// accepted, treat it as a leave.
 	g.mu.Lock()
-	if cur, ok := g.sessions[s.user]; ok && cur == s {
-		delete(g.sessions, s.user)
+	if g.reg.remove(s) {
 		mLeaves.Inc()
 		mMembers.Add(-1)
-		g.departedLocked(s.user)
+		g.departedLocked(s.user, false)
 		g.audit.emit(Event{Kind: EventLeft, User: s.user, Epoch: g.epoch, Detail: "connection lost"})
 	}
 	g.mu.Unlock()
@@ -496,7 +573,7 @@ func (g *Leader) serveConn(conn transport.Conn) {
 		if _, ok := s.out.TryPop(); !ok {
 			break
 		}
-		outboxDrained(1)
+		s.drained(1)
 	}
 }
 
@@ -562,6 +639,14 @@ func (g *Leader) handleProtocol(s *memberConn, env wire.Envelope) bool {
 	}
 	s.mu.Unlock()
 
+	// The steady-state frame is an acknowledgment with no group-level
+	// consequence; it finishes right here without touching Leader.mu, so
+	// acks from thousands of members retire in parallel instead of
+	// serializing on the control-plane lock.
+	if !overflow && !ev.Accepted && !ev.Closed {
+		return false
+	}
+
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if overflow {
@@ -573,14 +658,16 @@ func (g *Leader) handleProtocol(s *memberConn, env wire.Envelope) bool {
 		g.acceptLocked(s)
 	}
 	if ev.Closed {
-		if cur, ok := g.sessions[s.user]; ok && cur == s {
-			delete(g.sessions, s.user)
+		// Only a session still in the registry departs: a stale one (already
+		// evicted, or displaced by a rejoin) must not broadcast MemberLeft or
+		// trigger a rotation for a user who may be a live member again.
+		if g.reg.remove(s) {
 			mLeaves.Inc()
 			mMembers.Add(-1)
+			g.departedLocked(s.user, false)
+			g.logf("group: %s left", s.user)
+			g.audit.emit(Event{Kind: EventLeft, User: s.user, Epoch: g.epoch})
 		}
-		g.departedLocked(s.user)
-		g.logf("group: %s left", s.user)
-		g.audit.emit(Event{Kind: EventLeft, User: s.user, Epoch: g.epoch})
 		return true
 	}
 	return false
@@ -613,10 +700,11 @@ func (g *Leader) sealFrame(s *memberConn, f outFrame) (wire.Envelope, bool) {
 // acceptLocked finishes a successful join: register the member, inform the
 // group, and distribute keys per policy.
 func (g *Leader) acceptLocked(s *memberConn) {
-	g.sessions[s.user] = s
-	g.logf("group: %s joined (members: %v)", s.user, g.membersLocked())
+	if displaced := g.reg.insert(s); displaced == nil {
+		mMembers.Add(1)
+	}
+	g.logf("group: %s joined (members: %d)", s.user, g.reg.size())
 	mJoins.Inc()
-	mMembers.Add(1)
 	g.audit.emit(Event{Kind: EventJoined, User: s.user, Epoch: g.epoch})
 
 	// Inform the rest of the group first, then bring the new member up to
@@ -624,104 +712,129 @@ func (g *Leader) acceptLocked(s *memberConn) {
 	// verified pipeline, so every member sees a consistent history.
 	g.broadcastAdminLocked(wire.MemberJoined{Name: s.user}, s.user)
 
-	if g.rekey.OnJoin {
+	switch {
+	case g.rekey.OnJoin && g.coalesce > 0:
+		// Coalescing: hand the joiner the current key so it can read group
+		// traffic immediately, then fold this join's rotation into the
+		// pending window with the rest of the burst.
+		g.sendAdminLocked(s, wire.NewGroupKey{Epoch: g.epoch, Key: g.groupKey})
+		g.requestRekeyLocked()
+	case g.rekey.OnJoin:
 		// rekeyLocked broadcasts NewGroupKey to everyone including the
 		// new member.
 		if err := g.rekeyLocked(); err != nil {
 			g.logf("group: rekey on join: %v", err)
 		}
-	} else {
+	default:
 		g.sendAdminLocked(s, wire.NewGroupKey{Epoch: g.epoch, Key: g.groupKey})
 	}
-	g.sendAdminLocked(s, wire.MemberList{Names: g.membersLocked()})
+	g.sendAdminLocked(s, wire.MemberList{Names: g.reg.names()})
 }
 
 // departedLocked announces a departure and rotates the key per policy. The
-// caller must have removed the member from g.sessions already.
-func (g *Leader) departedLocked(user string) {
+// caller must have removed the member from the registry already. immediate
+// forces the rotation to happen now (expulsions); otherwise leaves and
+// evictions may fold into the coalescing window — safe for forward secrecy
+// because the departed member is already out of the registry, so the
+// eventual NewGroupKey broadcast cannot reach it.
+func (g *Leader) departedLocked(user string, immediate bool) {
 	g.broadcastAdminLocked(wire.MemberLeft{Name: user}, "")
-	if g.rekey.OnLeave && len(g.sessions) > 0 {
+	if !g.rekey.OnLeave || g.reg.size() == 0 {
+		return
+	}
+	if immediate || g.coalesce <= 0 {
 		if err := g.rekeyLocked(); err != nil {
 			g.logf("group: rekey on leave: %v", err)
 		}
+		return
 	}
+	g.requestRekeyLocked()
 }
 
 // broadcastAdminLocked queues an admin body for every member except skip.
 // Only the enqueues happen under Leader.mu — each member's writer seals its
 // own AdminMsg outside the lock — so the hold time measured here is the
-// fan-out cost, not members × AEAD.
+// fan-out cost, not members × AEAD; at scale the fan-out itself is split
+// across the worker pool.
 func (g *Leader) broadcastAdminLocked(body wire.AdminBody, skip string) {
 	start := time.Now()
-	for user, s := range g.sessions {
-		if user == skip {
-			continue
-		}
-		g.sendAdminLocked(s, body)
+	g.bcastBuf = g.reg.appendAll(g.bcastBuf[:0], skip)
+	overflowed := g.fanoutPush(g.bcastBuf, outFrame{body: body})
+	for _, s := range overflowed {
+		g.evictLocked(s, "outbox overflow (slow consumer)")
 	}
+	clear(g.bcastBuf) // drop member references until the next broadcast
 	mBroadcastHold.Observe(time.Since(start))
 }
 
 // sendAdminLocked queues an admin body on one member's outbox for the
-// writer goroutine to seal. Heartbeat pacing advances only when the
-// enqueue succeeds; a full outbox evicts per the slow-consumer policy
-// (bounded memory beats unbounded hope), and a closed outbox (member
-// tearing down) is not an error worth surfacing.
+// writer goroutine to seal; a full outbox evicts per the slow-consumer
+// policy (bounded memory beats unbounded hope).
 func (g *Leader) sendAdminLocked(s *memberConn, body wire.AdminBody) {
-	switch err := s.pushOut(outFrame{body: body}); {
-	case err == nil:
-		s.mu.Lock()
-		s.lastAdmin = time.Now()
-		s.mu.Unlock()
-	case errors.Is(err, queue.ErrFull):
-		mOverflow.Inc()
+	if g.pushFrameTo(s, outFrame{body: body}) {
 		g.evictLocked(s, "outbox overflow (slow consumer)")
-	default:
-		g.logf("group: outbox of %s closed", s.user)
 	}
 }
+
+// pushFrameTo enqueues one frame on a member's outbox and reports overflow
+// (true) so the caller can route the eviction through the group lock.
+// Heartbeat pacing advances only when an admin-body enqueue succeeds, and a
+// closed outbox (member tearing down) is not an error worth surfacing. This
+// is the unit of work fan-out workers execute; it touches only the outbox
+// and the member's own lock, never Leader.mu or a registry stripe.
+func (g *Leader) pushFrameTo(s *memberConn, f outFrame) bool {
+	switch err := s.pushOut(f); {
+	case err == nil:
+		if f.enc == nil && !f.sealed {
+			s.mu.Lock()
+			s.lastAdmin = time.Now()
+			s.mu.Unlock()
+		}
+		return false
+	case errors.Is(err, queue.ErrFull):
+		mOverflow.Inc()
+		return true
+	default:
+		g.logf("group: outbox of %s closed", s.user)
+		return false
+	}
+}
+
+// targetsPool recycles relay fan-out snapshots; at thousands of members the
+// per-relay snapshot would otherwise dominate the allocation profile.
+var targetsPool = sync.Pool{New: func() any { return new([]*memberConn) }}
 
 // relay forwards application data from one member to all others, unchanged.
 // The leader does not need to decrypt: confidentiality is end-to-end under
 // the group key (the leader holds K_g anyway, but relaying verbatim keeps
-// the AEAD header binding intact for receivers). The fan-out runs off
-// Leader.mu — outboxes carry their own locks and AppData needs no engine
-// work — so relays from different members proceed concurrently.
+// the AEAD header binding intact for receivers). The fan-out runs entirely
+// off Leader.mu — the membership check and snapshot read only registry
+// stripes, and outboxes carry their own locks — so relays from different
+// members proceed concurrently with each other and with the control plane.
 func (g *Leader) relay(from *memberConn, env wire.Envelope) {
-	g.mu.Lock()
-	if _, accepted := g.sessions[from.user]; !accepted {
-		g.mu.Unlock()
+	if g.reg.get(from.user) != from {
 		g.logf("group: app data from non-member %s dropped", from.user)
 		return
 	}
-	targets := make([]*memberConn, 0, len(g.sessions))
-	for user, s := range g.sessions {
-		if user == from.user {
-			continue
-		}
-		targets = append(targets, s)
-	}
-	g.mu.Unlock()
+	tp := targetsPool.Get().(*[]*memberConn)
+	targets := g.reg.appendAll((*tp)[:0], from.user)
 
 	// Encode the relayed envelope once and hand every outbox the same shared
 	// frame: on byte-stream transports the fan-out pays one encode for N
 	// members instead of N, and in-memory pipes never trigger the encode at
 	// all (Encoded realizes its bytes lazily).
 	enc := transport.NewEncoded(env)
-	var overflowed []*memberConn
-	for _, s := range targets {
-		switch err := s.pushOut(outFrame{enc: enc}); {
-		case errors.Is(err, queue.ErrFull):
-			mOverflow.Inc()
-			overflowed = append(overflowed, s)
-		case err != nil:
-			g.logf("group: outbox of %s closed", s.user)
-		}
-	}
+	overflowed := g.fanoutPush(targets, outFrame{enc: enc})
+	clear(targets)
+	*tp = targets
+	targetsPool.Put(tp)
+
 	if len(overflowed) > 0 {
 		g.mu.Lock()
-		for _, s := range overflowed {
-			g.evictLocked(s, "outbox overflow (slow consumer)")
+		if !g.closed {
+			for _, s := range overflowed {
+				g.evictLocked(s, "outbox overflow (slow consumer)")
+			}
 		}
 		g.mu.Unlock()
 	}

@@ -103,11 +103,10 @@ func (g *Leader) livenessTick(now time.Time) {
 		g.mu.Unlock()
 		return
 	}
-	sessions := make([]*memberConn, 0, len(g.sessions))
-	for _, s := range g.sessions {
-		sessions = append(sessions, s)
-	}
 	g.mu.Unlock()
+	// The probe sweep reads only registry stripes: a tick never blocks
+	// joins, rekeys, or broadcasts, it just walks a snapshot.
+	sessions := g.reg.appendAll(nil, "")
 
 	lv := g.liveness
 	var expired []*memberConn
@@ -154,16 +153,14 @@ func (g *Leader) livenessTick(now time.Time) {
 // on-leave rekey — so forward secrecy holds against dead members exactly as
 // it does against departed ones.
 func (g *Leader) evictLocked(s *memberConn, detail string) {
-	cur, ok := g.sessions[s.user]
-	if !ok || cur != s {
+	if !g.reg.remove(s) {
 		return // already gone (raced with leave/expel/another eviction)
 	}
-	delete(g.sessions, s.user)
 	mEvictions.Inc()
 	mMembers.Add(-1)
 	s.out.Close()
 	s.conn.Close()
 	g.logf("group: evicted %s: %s", s.user, detail)
-	g.departedLocked(s.user)
+	g.departedLocked(s.user, false)
 	g.audit.emit(Event{Kind: EventEvicted, User: s.user, Epoch: g.epoch, Detail: detail})
 }

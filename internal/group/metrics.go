@@ -13,6 +13,11 @@ var (
 	mEvictions = metrics.NewCounter("group_evictions_total")
 	mRekeys    = metrics.NewCounter("group_rekeys_total")
 	mRejected  = metrics.NewCounter("group_rejected_total")
+	// mRekeysCoalesced counts policy-triggered rotations folded into an
+	// already-pending coalescing window (or absorbed by an immediate
+	// rotation). At quiescence, triggers == rekeys_total Δ + this Δ — the
+	// reconciliation identity the chaos soak asserts.
+	mRekeysCoalesced = metrics.NewCounter("group_rekeys_coalesced_total")
 
 	mAdminSent   = metrics.NewCounter("group_admin_sent_total")
 	mAdminAcked  = metrics.NewCounter("group_admin_acked_total")
@@ -24,8 +29,11 @@ var (
 	// mOutboxDepth is the aggregate number of frames queued across every
 	// member outbox — incremented on push, decremented as the writer drains
 	// (and on teardown), so it reads as total backlog, not a point sample.
+	// It is lock-striped: each member updates a fixed slot (its registry
+	// stripe), so parallel fan-out workers do not serialize on one atomic
+	// while the snapshot sum stays exact.
 	mMembers     = metrics.NewGauge("group_members")
-	mOutboxDepth = metrics.NewGauge("group_outbox_depth")
+	mOutboxDepth = metrics.NewStripedGauge("group_outbox_depth", 32)
 
 	// mAckLatency times AdminMsg seal -> authenticated ack, the round trip
 	// that gates the whole pipeline. mBroadcastHold times how long an admin

@@ -1,6 +1,8 @@
 package group
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"enclaves/internal/crypto"
@@ -48,16 +50,69 @@ func TestOutboxDepthGaugeAggregates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	outboxDrained(len(frames))
+	a.drained(len(frames))
 	if got := mOutboxDepth.Value() - base; got != 1 {
 		t.Fatalf("after draining outbox a: gauge delta = %d, want 1", got)
 	}
 	if _, ok := b.out.TryPop(); !ok {
 		t.Fatal("outbox b unexpectedly empty")
 	}
-	outboxDrained(1)
+	b.drained(1)
 	if got := mOutboxDepth.Value() - base; got != 0 {
 		t.Fatalf("after draining everything: gauge delta = %d, want 0", got)
+	}
+}
+
+// TestOutboxDepthGaugeConcurrent: with fan-out workers pushing to many
+// outboxes in parallel, the striped gauge must stay exact — each member has
+// a fixed slot (its registry stripe), so balanced push/drain traffic from
+// many goroutines lands the aggregate back on the baseline with no lost
+// updates. Run under -race this also proves the memory safety of the
+// striped path the parallel fan-out relies on.
+func TestOutboxDepthGaugeConcurrent(t *testing.T) {
+	withMetrics(t)
+	base := mOutboxDepth.Value()
+
+	r := newRegistry(16)
+	const members = 64
+	conns := make([]*memberConn, members)
+	for i := range conns {
+		user := fmt.Sprintf("m%02d", i)
+		conns[i] = &memberConn{
+			user: user,
+			out:  queue.NewBounded[outFrame](8),
+			slot: r.slotFor(user),
+		}
+	}
+
+	// Each worker owns a disjoint set of outboxes (a worker pool shard) and
+	// runs push-then-drain rounds; colliding gauge slots across workers are
+	// guaranteed because 64 members mask into far fewer stripes.
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 200; round++ {
+				for i := w; i < members; i += workers {
+					s := conns[i]
+					if err := s.pushOut(outFrame{body: wire.Heartbeat{}}); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, ok := s.out.TryPop(); !ok {
+						t.Error("own outbox unexpectedly empty")
+						return
+					}
+					s.drained(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := mOutboxDepth.Value(); got != base {
+		t.Fatalf("after balanced concurrent push/drain: gauge = %d, want baseline %d", got, base)
 	}
 }
 

@@ -5,6 +5,53 @@ import (
 	"time"
 )
 
+// requestRekeyLocked registers one policy-triggered rotation with the
+// coalescing window. With no window configured it rotates immediately.
+// Otherwise the first trigger arms a one-shot timer and every further
+// trigger inside the window folds into it, so a k-member churn burst costs
+// one epoch bump and one NewGroupKey broadcast instead of k.
+//
+// Accounting invariant (asserted by the chaos soak): at quiescence, every
+// trigger is accounted for exactly once —
+//
+//	triggers == EventRekeyed count + group_rekeys_coalesced_total delta
+//
+// A fold counts as coalesced when it lands on an armed window, and the
+// armed trigger itself counts as coalesced when an immediate rotation
+// (Expel, explicit Rekey) absorbs it first (see rekeyLocked's prologue).
+//
+// The caller holds g.mu.
+func (g *Leader) requestRekeyLocked() {
+	if g.coalesce <= 0 {
+		if err := g.rekeyLocked(); err != nil {
+			g.logf("group: rekey: %v", err)
+		}
+		return
+	}
+	if g.rekeyPending {
+		mRekeysCoalesced.Inc()
+		return
+	}
+	g.rekeyPending = true
+	g.rekeyTimer = time.AfterFunc(g.coalesce, g.flushRekey)
+}
+
+// flushRekey fires when the coalescing window elapses. The pending flag
+// may already be gone — an immediate rotation absorbed it, or Close
+// cancelled it — in which case there is nothing to do.
+func (g *Leader) flushRekey() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed || !g.rekeyPending {
+		return
+	}
+	g.rekeyPending = false
+	g.rekeyTimer = nil
+	if err := g.rekeyLocked(); err != nil {
+		g.logf("group: coalesced rekey: %v", err)
+	}
+}
+
 // AutoRekeyer rotates a leader's group key on a fixed period — the
 // "periodic basis" rekey policy of Section 2.2. It owns one background
 // goroutine; always call Stop when done.

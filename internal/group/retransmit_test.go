@@ -151,7 +151,8 @@ func TestFailedEnqueueLeavesLivenessStateUntouched(t *testing.T) {
 	}
 	defer g.Close()
 
-	// Not registered in g.sessions, so the overflow eviction is a no-op and
+	// Not registered in the member registry, so the overflow eviction is a
+	// no-op and
 	// the state inspection below sees exactly what the send path did.
 	s := &memberConn{user: "ghost", out: queue.NewBounded[outFrame](1)}
 	if err := s.pushOut(outFrame{body: wire.Heartbeat{}}); err != nil {
@@ -212,7 +213,7 @@ func TestRetransmitPacingOnlyAdvancesOnEnqueue(t *testing.T) {
 		t.Fatal(err)
 	}
 	g.mu.Lock()
-	g.sessions["ghost"] = s
+	g.reg.insert(s)
 	g.mu.Unlock()
 
 	g.livenessTick(now)
@@ -240,6 +241,6 @@ func TestRetransmitPacingOnlyAdvancesOnEnqueue(t *testing.T) {
 	}
 
 	g.mu.Lock()
-	delete(g.sessions, "ghost")
+	g.reg.take("ghost")
 	g.mu.Unlock()
 }

@@ -1,0 +1,128 @@
+package group
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"enclaves/internal/queue"
+)
+
+func newTestConn(user string, r *registry) *memberConn {
+	return &memberConn{
+		user: user,
+		out:  queue.NewBounded[outFrame](4),
+		slot: r.slotFor(user),
+	}
+}
+
+func TestRegistryBasics(t *testing.T) {
+	r := newRegistry(3) // rounds up to 4
+	if got := len(r.stripes); got != 4 {
+		t.Fatalf("stripes = %d, want 4 (3 rounded up to a power of two)", got)
+	}
+	if r.size() != 0 || len(r.names()) != 0 {
+		t.Fatal("fresh registry not empty")
+	}
+
+	a := newTestConn("alice", r)
+	b := newTestConn("bob", r)
+	if displaced := r.insert(a); displaced != nil {
+		t.Fatal("insert into empty registry displaced something")
+	}
+	r.insert(b)
+	if r.size() != 2 {
+		t.Fatalf("size = %d, want 2", r.size())
+	}
+	if got := r.get("alice"); got != a {
+		t.Fatalf("get(alice) = %p, want %p", got, a)
+	}
+	if got := r.names(); len(got) != 2 || got[0] != "alice" || got[1] != "bob" {
+		t.Fatalf("names = %v, want [alice bob]", got)
+	}
+	if got := r.appendAll(nil, "alice"); len(got) != 1 || got[0] != b {
+		t.Fatalf("appendAll skipping alice = %v", got)
+	}
+
+	// Re-join displaces the stale session without double-counting.
+	a2 := newTestConn("alice", r)
+	if displaced := r.insert(a2); displaced != a {
+		t.Fatalf("insert(a2) displaced %p, want the stale %p", displaced, a)
+	}
+	if r.size() != 2 {
+		t.Fatalf("size after displacement = %d, want 2", r.size())
+	}
+	// The stale session's conditional removal must be a no-op now.
+	if r.remove(a) {
+		t.Fatal("remove(stale) succeeded; it should only remove the current session")
+	}
+	if r.get("alice") != a2 {
+		t.Fatal("stale removal took out the live session")
+	}
+	if !r.remove(a2) {
+		t.Fatal("remove(current) failed")
+	}
+	if got := r.take("bob"); got != b {
+		t.Fatalf("take(bob) = %p, want %p", got, b)
+	}
+	if r.take("bob") != nil {
+		t.Fatal("second take(bob) returned a session")
+	}
+	if r.size() != 0 {
+		t.Fatalf("final size = %d, want 0", r.size())
+	}
+}
+
+// TestRegistryDistribution: FNV striping must actually spread realistic
+// user names across stripes — an all-in-one-stripe hash would silently
+// restore the single-lock contention this layer exists to remove.
+func TestRegistryDistribution(t *testing.T) {
+	r := newRegistry(16)
+	const users = 4096
+	counts := make(map[uint32]int)
+	for i := 0; i < users; i++ {
+		counts[fnv1a(fmt.Sprintf("user%04d", i))&r.mask]++
+	}
+	if len(counts) != 16 {
+		t.Fatalf("%d users landed in only %d/16 stripes", users, len(counts))
+	}
+	// Perfectly uniform would be 256 per stripe; allow a generous 2× band.
+	for stripe, n := range counts {
+		if n > users/16*2 {
+			t.Fatalf("stripe %d holds %d of %d users — hash is badly skewed", stripe, n, users)
+		}
+	}
+}
+
+// TestRegistryConcurrent is the -race workout: concurrent inserts, removes,
+// gets, and snapshot walks across all stripes. Correctness assertion is
+// just the final count; the value of the test is the race detector seeing
+// every code path interleave.
+func TestRegistryConcurrent(t *testing.T) {
+	r := newRegistry(8)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				user := fmt.Sprintf("w%d-u%d", w, i%17)
+				s := newTestConn(user, r)
+				r.insert(s)
+				r.get(user)
+				r.appendAll(nil, "")
+				r.names()
+				if i%3 == 0 {
+					r.take(user)
+				} else {
+					r.remove(s)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.size() != 0 {
+		t.Fatalf("after balanced insert/remove: size = %d, want 0", r.size())
+	}
+}

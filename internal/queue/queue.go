@@ -22,6 +22,16 @@ var (
 	mFull   = metrics.NewCounter("queue_full_total")
 )
 
+// A batch drain that empties the queue releases the backing array when it
+// is both big in absolute terms and mostly idle — the drained batch filled
+// under 1/shrinkFactor of it. Steady-state consumers (one frame in, one
+// frame out) never trip the threshold, so the shrink fires once per burst,
+// not once per message.
+const (
+	shrinkMinCap = 64
+	shrinkFactor = 8
+)
+
 // ErrClosed is returned by operations on a closed queue.
 var ErrClosed = errors.New("queue: closed")
 
@@ -38,6 +48,11 @@ type Queue[T any] struct {
 	items  []T
 	cap    int // 0 = unbounded
 	closed bool
+	// waiting counts receivers blocked in nonEmp.Wait. Push signals only
+	// when a receiver is actually parked: with a batching consumer the
+	// common case is pushing onto a non-empty backlog nobody waits on, and
+	// skipping the futex wake there measurably cheapens high-rate fan-out.
+	waiting int
 }
 
 // New returns an empty unbounded queue.
@@ -72,7 +87,9 @@ func (q *Queue[T]) Push(item T) error {
 	}
 	q.items = append(q.items, item)
 	mPushes.Inc()
-	q.nonEmp.Signal()
+	if q.waiting > 0 {
+		q.nonEmp.Signal()
+	}
 	return nil
 }
 
@@ -82,7 +99,9 @@ func (q *Queue[T]) Pop() (T, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.items) == 0 && !q.closed {
+		q.waiting++
 		q.nonEmp.Wait()
+		q.waiting--
 	}
 	var zero T
 	if len(q.items) == 0 {
@@ -105,7 +124,9 @@ func (q *Queue[T]) PopBatch(buf []T, max int) ([]T, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.items) == 0 && !q.closed {
+		q.waiting++
 		q.nonEmp.Wait()
+		q.waiting--
 	}
 	if len(q.items) == 0 {
 		return buf[:0], ErrClosed
@@ -121,8 +142,20 @@ func (q *Queue[T]) PopBatch(buf []T, max int) ([]T, error) {
 	}
 	if n == len(q.items) {
 		// Fully drained and the items were copied out: rewind to the front
-		// of the backing array so future pushes reuse its capacity.
-		q.items = q.items[:0]
+		// of the backing array so future pushes reuse its capacity — unless
+		// the array is a relic of a far larger backlog (a join-storm
+		// broadcast fanning out to thousands of outboxes, say). Rewinding
+		// would pin that peak-sized pointer array forever, and with one such
+		// queue per member the process retains O(members × peak) slots that
+		// every GC cycle re-scans. Dropping an oversized array costs one
+		// re-grow on the next burst and gives the memory back. The plain
+		// Pop path needs no such policy: its slice advance abandons the
+		// array once append exhausts the tail capacity.
+		if c := cap(q.items); c > shrinkMinCap && n < c/shrinkFactor {
+			q.items = nil
+		} else {
+			q.items = q.items[:0]
+		}
 	} else {
 		q.items = q.items[n:]
 	}

@@ -143,3 +143,54 @@ func TestConcurrentProducersConsumers(t *testing.T) {
 		t.Errorf("consumed %d items, want %d", len(got), producers*perProducer)
 	}
 }
+
+// TestBatchDrainShrinksBurstCapacity pins the release policy for burst
+// relics: after a large backlog is drained in one batch the backing array is
+// kept (the batch used it all), but once the queue settles into a trickle a
+// full drain drops the oversized array instead of pinning peak capacity
+// forever. Steady-state small queues must never shrink — that would turn
+// every push into an allocation.
+func TestBatchDrainShrinksBurstCapacity(t *testing.T) {
+	q := New[*int]()
+	burst := shrinkMinCap * shrinkFactor * 4
+	v := 0
+	for i := 0; i < burst; i++ {
+		if err := q.Push(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf, err := q.PopAll(nil)
+	if err != nil || len(buf) != burst {
+		t.Fatalf("PopAll = %d items, %v; want %d", len(buf), err, burst)
+	}
+	// The burst itself filled the array: keep it.
+	if c := cap(q.items); c < burst {
+		t.Fatalf("burst drain dropped the array (cap %d), want >= %d kept", c, burst)
+	}
+
+	// Trickle: one item against the relic array trips the shrink.
+	if err := q.Push(&v); err != nil {
+		t.Fatal(err)
+	}
+	if buf, err = q.PopAll(buf); err != nil || len(buf) != 1 {
+		t.Fatalf("PopAll = %d items, %v; want 1", len(buf), err)
+	}
+	if c := cap(q.items); c != 0 {
+		t.Fatalf("trickle drain kept the burst relic (cap %d), want released", c)
+	}
+
+	// Steady state on a small queue: capacity is reused, not dropped.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < shrinkMinCap/2; i++ {
+			if err := q.Push(&v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if buf, err = q.PopAll(buf); err != nil || len(buf) != shrinkMinCap/2 {
+			t.Fatalf("PopAll = %d items, %v; want %d", len(buf), err, shrinkMinCap/2)
+		}
+	}
+	if c := cap(q.items); c == 0 || c > shrinkMinCap {
+		t.Fatalf("steady-state cap = %d, want kept and modest (1..%d)", c, shrinkMinCap)
+	}
+}

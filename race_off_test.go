@@ -1,0 +1,5 @@
+//go:build !race
+
+package enclaves
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package enclaves
+
+// raceEnabled scales the soak sizes down under the race detector, whose
+// 5-20× slowdown turns the O(n²) join-storm setup into a timeout at full
+// size. The interleavings the detector needs show up at a fraction of the
+// member count.
+const raceEnabled = true
