@@ -6,6 +6,9 @@
 //	enclaved -addr 127.0.0.1:7465 -name leader -users users.txt [-rekey join,leave]
 //	         [-rekey-coalesce 5ms] [-fanout-workers 8] [-heartbeat 2s] [-ack-timeout 10s]
 //	         [-outbox 1024] [-metrics-addr 127.0.0.1:9465]
+//	         [-repl-secret repl.secret]
+//	enclaved -standby -replicate-from 127.0.0.1:7465 -repl-secret repl.secret
+//	         -addr 127.0.0.1:7466 -name leader -users users.txt [...]
 //
 // The users file holds one "name:password" pair per line; lines starting
 // with # are ignored. Passwords are the long-term secrets from which the
@@ -26,6 +29,17 @@
 // departed members still never receive a post-departure key), and the
 // latter sizes the worker pool that pushes broadcast frames to member
 // outboxes in parallel.
+//
+// -repl-secret names a file holding one shared secret line; it derives the
+// replication key K_r that seals the leader-replication channel. On a
+// primary it enables replication: a standby may subscribe and mirror
+// membership, epochs, group keys, and audit positions. With -standby the
+// process runs as that hot standby instead: it replicates from the primary
+// at -replicate-from until the stream has been silent past -repl-silence,
+// then promotes the replica — same leader identity (-name) and users file,
+// one forced key rotation — and serves members on -addr. Members arriving
+// with live session state resume without a password re-handshake; the rest
+// re-join normally.
 //
 // -metrics-addr enables metrics collection and serves an operations
 // endpoint on the given address: GET /metrics returns a flat JSON snapshot
@@ -53,6 +67,7 @@ import (
 	"enclaves/internal/crypto"
 	"enclaves/internal/group"
 	"enclaves/internal/metrics"
+	"enclaves/internal/replica"
 	"enclaves/internal/transport"
 
 	// Blank imports register the remaining layers' instruments, so the
@@ -83,12 +98,25 @@ func run(args []string) error {
 		fanWorkers  = fs.Int("fanout-workers", 0, "broadcast fan-out worker pool size (0 = GOMAXPROCS-derived, <0 = sequential)")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics (JSON snapshot) and /debug/pprof on this address (empty disables collection)")
 		verbose     = fs.Bool("v", false, "verbose logging")
+
+		replSecret  = fs.String("repl-secret", "", "path to the shared replication secret; derives K_r and enables leader replication")
+		standby     = fs.Bool("standby", false, "run as hot standby: replicate from -replicate-from, promote on primary death")
+		replFrom    = fs.String("replicate-from", "", "primary leader address to replicate from (standby mode)")
+		standbyName = fs.String("standby-name", "standby", "this standby's identity on the replication channel")
+		replPing    = fs.Duration("repl-ping", time.Second, "replication stream liveness ping interval (primary with -repl-secret)")
+		replSilence = fs.Duration("repl-silence", 5*time.Second, "declare the primary dead after this much replication silence (standby mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *usersPath == "" {
 		return fmt.Errorf("-users is required")
+	}
+	if *standby != (*replFrom != "") {
+		return fmt.Errorf("-standby and -replicate-from must be used together")
+	}
+	if *standby && *replSecret == "" {
+		return fmt.Errorf("-standby requires -repl-secret (the key the primary seals the replication stream with)")
 	}
 	users, err := loadUsers(*usersPath, *name)
 	if err != nil {
@@ -98,6 +126,12 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var replKey crypto.Key
+	if *replSecret != "" {
+		if replKey, err = loadReplKey(*replSecret, *name); err != nil {
+			return err
+		}
+	}
 
 	logf := func(string, ...any) {}
 	var onEvent func(group.Event)
@@ -105,7 +139,7 @@ func run(args []string) error {
 		logf = log.Printf
 		onEvent = func(e group.Event) { log.Printf("enclaved: audit: %s", e) }
 	}
-	leader, err := group.NewLeader(group.Config{
+	cfg := group.Config{
 		Name:    *name,
 		Users:   users,
 		Rekey:   policy,
@@ -118,12 +152,27 @@ func run(args []string) error {
 		OutboxLimit:   *outbox,
 		RekeyCoalesce: *coalesce,
 		FanoutWorkers: *fanWorkers,
-	})
+	}
+
+	var leader *group.Leader
+	if *standby {
+		leader, err = runStandby(standbyConfig{
+			group:   cfg,
+			from:    *replFrom,
+			self:    *standbyName,
+			key:     replKey,
+			silence: *replSilence,
+		})
+	} else {
+		cfg.ReplKey, cfg.ReplPing = replKey, *replPing
+		leader, err = group.NewLeader(cfg)
+	}
 	if err != nil {
 		return err
 	}
 	l, err := transport.ListenTCP(*addr)
 	if err != nil {
+		leader.Close()
 		return err
 	}
 	if *metricsAddr != "" {
@@ -136,8 +185,15 @@ func run(args []string) error {
 		defer srv.Close()
 		log.Printf("enclaved: metrics on http://%s/metrics, pprof on http://%s/debug/pprof/", maddr, maddr)
 	}
-	log.Printf("enclaved: leader %q serving %d users on %s (rekey on %s, coalesce %v, heartbeat %v, ack timeout %v, outbox %d, fan-out workers %d)",
-		*name, len(users), l.Addr(), *rekeyOn, *coalesce, *heartbeat, *ackWait, *outbox, *fanWorkers)
+	role := "leader"
+	switch {
+	case *standby:
+		role = "promoted leader"
+	case replKey.Valid():
+		role = fmt.Sprintf("leader (replicating, ping %v)", *replPing)
+	}
+	log.Printf("enclaved: %s %q serving %d users on %s (rekey on %s, coalesce %v, heartbeat %v, ack timeout %v, outbox %d, fan-out workers %d)",
+		role, *name, len(users), l.Addr(), *rekeyOn, *coalesce, *heartbeat, *ackWait, *outbox, *fanWorkers)
 
 	// Graceful shutdown on SIGINT/SIGTERM: close the listener and every
 	// member connection, then exit cleanly.
@@ -150,6 +206,74 @@ func run(args []string) error {
 		leader.Close()
 	}()
 	return leader.Serve(l)
+}
+
+// standbyConfig carries what the hot-standby phase needs: the replication
+// subscription parameters and the leader config to promote with.
+type standbyConfig struct {
+	group   group.Config
+	from    string
+	self    string
+	key     crypto.Key
+	silence time.Duration
+}
+
+// runStandby replicates from the primary until it is declared dead, then
+// promotes the replica and returns the promoted leader, ready to serve. A
+// termination signal during the standby phase exits cleanly instead of
+// promoting (the primary is still alive — a second leader must not appear).
+func runStandby(sc standbyConfig) (*group.Leader, error) {
+	sb, err := replica.NewStandby(replica.StandbyConfig{
+		Standby: sc.self,
+		Primary: sc.group.Name,
+		Key:     sc.key,
+		Dial:    func() (transport.Conn, error) { return transport.DialTCP(sc.from) },
+		Silence: sc.silence,
+		Logf:    log.Printf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("enclaved: standby %q replicating leader %q from %s (silence budget %v)",
+		sc.self, sc.group.Name, sc.from, sc.silence)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	select {
+	case sig := <-sigCh:
+		sb.Stop()
+		return nil, fmt.Errorf("%v during standby phase, exiting without promotion", sig)
+	case <-sb.Dead():
+	}
+	st := sb.State()
+	sb.Stop()
+	log.Printf("enclaved: primary silent past %v; promoting with %d members at epoch %d",
+		sc.silence, len(st.Members), st.Epoch)
+	return group.Promote(sc.group, st)
+}
+
+// loadReplKey derives the replication key K_r from the shared secret file:
+// first non-empty, non-comment line, bound to the leader identity so
+// distinct groups sharing a secret file still use distinct keys.
+func loadReplKey(path, leader string) (crypto.Key, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return crypto.Key{}, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return crypto.DeriveKey("standby", leader, line), nil
+	}
+	if err := sc.Err(); err != nil {
+		return crypto.Key{}, err
+	}
+	return crypto.Key{}, fmt.Errorf("%s: no secret line", path)
 }
 
 // startMetricsServer enables metrics collection and serves the snapshot

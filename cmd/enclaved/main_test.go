@@ -152,3 +152,62 @@ func TestParsePolicy(t *testing.T) {
 		})
 	}
 }
+
+// TestLoadReplKey pins the replication-secret contract: comments and blank
+// lines are skipped, derivation is deterministic, distinct leaders sharing
+// a secret file get distinct keys, and an empty file is an error.
+func TestLoadReplKey(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "repl.secret")
+	if err := os.WriteFile(path, []byte("# comment\n\nhunter2\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	k1, err := loadReplKey(path, "leader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := loadReplKey(path, "leader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k1.Valid() || !k1.Equal(k2) {
+		t.Fatal("replication key derivation is not deterministic")
+	}
+	other, err := loadReplKey(path, "other-leader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.Equal(other) {
+		t.Fatal("distinct leaders derived the same replication key")
+	}
+
+	empty := filepath.Join(dir, "empty.secret")
+	if err := os.WriteFile(empty, []byte("# only a comment\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadReplKey(empty, "leader"); err == nil {
+		t.Fatal("empty secret file accepted")
+	}
+}
+
+// TestStandbyFlagValidation checks the standby flag set is rejected when
+// inconsistent, before anything touches the network.
+func TestStandbyFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	users := filepath.Join(dir, "users.txt")
+	if err := os.WriteFile(users, []byte("alice:pw\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"standby without replicate-from", []string{"-standby", "-users", users}},
+		{"replicate-from without standby", []string{"-replicate-from", "127.0.0.1:1", "-users", users}},
+		{"standby without repl-secret", []string{"-standby", "-replicate-from", "127.0.0.1:1", "-users", users}},
+	} {
+		if err := run(tc.args); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

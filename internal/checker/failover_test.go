@@ -1,0 +1,182 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"enclaves/internal/model"
+)
+
+// These tests discharge the verification obligations over the failover
+// extension: the primary may crash and hand A's session to the promoted
+// standby via the sealed replication channel, and A resumes with the
+// Resume/ResumeAck exchange. Every Section 5 property must survive the
+// extension, plus the new K_r secrecy obligation (5.5). The Figure 4
+// diagram is NOT checked here — it abstracts the crash-free protocol and
+// the failover states intentionally live outside it.
+
+var failoverExploration *Exploration
+
+func exploreFailover() *Exploration {
+	if failoverExploration == nil {
+		failoverExploration = Explore(model.Config{MaxSessions: 2, MaxAdmin: 2, Failover: true})
+	}
+	return failoverExploration
+}
+
+func TestFailoverInvariants(t *testing.T) {
+	ex := exploreFailover()
+	for _, o := range AllInvariants(ex) {
+		if !o.Holds {
+			t.Errorf("obligation violated under failover: %s", o)
+		}
+	}
+}
+
+// TestFailoverReachesResumption: the extension is not vacuous — crashes,
+// promotions and completed resumptions are all reachable, and the admin
+// pipeline continues across a failover (payloads accepted after the
+// resumption extend rcv_A past its pre-crash length).
+func TestFailoverReachesResumption(t *testing.T) {
+	ex := exploreFailover()
+	var promoted, resuming, resumed, continued int
+	for _, n := range ex.Nodes {
+		s := n.State
+		if s.Lead.Phase == model.LeadPromoted {
+			promoted++
+		}
+		if s.Usr.Phase == model.UserResuming {
+			resuming++
+		}
+		if s.Failovers > 0 && s.ResumesStarted > 0 &&
+			s.Usr.Phase == model.UserConnected && s.Lead.Phase == model.LeadConnected {
+			resumed++
+		}
+		if s.Failovers > 0 && len(s.RcvA) > 1 {
+			continued++
+		}
+	}
+	if promoted == 0 || resuming == 0 || resumed == 0 {
+		t.Fatalf("failover path not exercised: promoted=%d resuming=%d resumed=%d",
+			promoted, resuming, resumed)
+	}
+	if continued == 0 {
+		t.Fatal("no state continues the admin pipeline after a resumption")
+	}
+}
+
+// TestFailoverTransitionCoverage: the new FSM edges are all observed —
+// crash (Connected -> Promoted), resume acceptance (Promoted ->
+// WaitingForAck), resume start (Connected -> Resuming) and resume
+// completion (Resuming -> Connected).
+func TestFailoverTransitionCoverage(t *testing.T) {
+	ex := exploreFailover()
+	type phasePair struct{ from, to string }
+	userEdges := make(map[phasePair]bool)
+	leadEdges := make(map[phasePair]bool)
+	replDeltas := 0
+	for _, e := range ex.Edges {
+		fu, tu := e.From.State.Usr.Phase.String(), e.To.State.Usr.Phase.String()
+		if fu != tu {
+			userEdges[phasePair{fu, tu}] = true
+		}
+		fl, tl := e.From.State.Lead.Phase.String(), e.To.State.Lead.Phase.String()
+		if fl != tl {
+			leadEdges[phasePair{fl, tl}] = true
+		}
+		if e.Step.Emitted != nil && e.Step.Emitted.Label == model.LabelReplDelta &&
+			e.Step.Actor == model.AgentLeader {
+			replDeltas++
+		}
+	}
+	for _, want := range []phasePair{{"Connected", "Resuming"}, {"Resuming", "Connected"}} {
+		if !userEdges[want] {
+			t.Errorf("user FSM edge %s -> %s never exercised", want.from, want.to)
+		}
+	}
+	for _, want := range []phasePair{
+		{"Connected", "Promoted"},     // crash + promotion
+		{"Promoted", "WaitingForAck"}, // resume accepted, ResumeAck sent
+		{"Promoted", "NotConnected"},  // close while promoted
+	} {
+		if !leadEdges[want] {
+			t.Errorf("leader FSM edge %s -> %s never exercised", want.from, want.to)
+		}
+	}
+	if replDeltas == 0 {
+		t.Error("no honest ReplDelta emission observed")
+	}
+}
+
+// TestFailoverReplKeySecrecy: the 5.5 obligation holds non-vacuously — the
+// trace really contains ReplDelta messages sealed under K_r while K_r stays
+// out of the intruder's knowledge.
+func TestFailoverReplKeySecrecy(t *testing.T) {
+	ex := exploreFailover()
+	if o := CheckSecrecyRepl(ex); !o.Holds {
+		t.Fatalf("5.5 violated: %s", o)
+	}
+	seen := false
+	for _, n := range ex.Nodes {
+		for _, m := range n.State.Messages() {
+			if m.Label == model.LabelReplDelta {
+				seen = true
+			}
+		}
+		if seen {
+			break
+		}
+	}
+	if !seen {
+		t.Fatal("K_r secrecy check is vacuous: no ReplDelta in any trace")
+	}
+}
+
+// TestFailoverResumeIsOneShot: no reachable state shows two resume
+// acceptances for one crash — the replicated nonce is consumed by the first
+// accepted Resume, so a replayed Resume can never be accepted again.
+func TestFailoverResumeIsOneShot(t *testing.T) {
+	ex := exploreFailover()
+	for _, n := range ex.Nodes {
+		accepts := 0
+		for _, step := range n.Trace() {
+			if strings.Contains(step, "accept Resume,") {
+				accepts++
+			}
+		}
+		if accepts > n.State.Failovers {
+			t.Fatalf("%d resume acceptances for %d crashes:\n%s",
+				accepts, n.State.Failovers, strings.Join(n.Trace(), "\n"))
+		}
+	}
+}
+
+// TestCheckerDetectsWeakResumeFreshness is the sensitivity (mutation) test
+// of the failover verification: dropping the resuming user's echoed-nonce
+// check lets a replayed pre-crash AdminMsg pass for the ResumeAck, and the
+// checker must catch the resulting duplicate acceptance as a 5.4a prefix
+// violation.
+func TestCheckerDetectsWeakResumeFreshness(t *testing.T) {
+	ex := Explore(model.Config{MaxSessions: 1, MaxAdmin: 1, Failover: true, WeakResumeFreshness: true})
+	o := CheckPrefixDelivery(ex)
+	if o.Holds {
+		t.Fatal("checker failed to detect the weakened resume freshness guard")
+	}
+	if len(o.Witness) == 0 {
+		t.Fatal("violation reported without a counterexample trace")
+	}
+	trace := strings.Join(o.Witness, "\n")
+	if !strings.Contains(trace, "send Resume") {
+		t.Errorf("counterexample does not involve a resumption:\n%s", trace)
+	}
+
+	// The mutation breaks ORDERING only: secrecy of P_a, K_a and K_r must
+	// all survive, confirming the checker separates the failure classes.
+	for _, check := range []func(*Exploration) Obligation{
+		CheckSecrecyLongTerm, CheckSecrecySession, CheckSecrecyRepl, CheckAuthentication,
+	} {
+		if o := check(ex); !o.Holds {
+			t.Errorf("unexpected break in weak-resume variant: %s", o)
+		}
+	}
+}

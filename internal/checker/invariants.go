@@ -56,7 +56,10 @@ func CheckRegularity(ex *Exploration) Obligation {
 //
 //	InUse(K_a, q) ∧ K_a ∈ Know(G, q) ⇒ G = A ∨ G = L,
 //
-// via the stronger coideal invariant trace(q) ⊆ C({K_a, P_a}).
+// via the stronger coideal invariant trace(q) ⊆ C({K_a, P_a}). With the
+// failover extension the protecting set generalizes to {K_a, P_a, K_r}:
+// replication deltas carry the in-use K_a sealed under K_r, so session-key
+// secrecy holds exactly as far as K_r does (discharged by CheckSecrecyRepl).
 func CheckSecrecySession(ex *Exploration) Obligation {
 	pa := ex.System.LongTermKey()
 	inUseStates := 0
@@ -68,6 +71,9 @@ func CheckSecrecySession(ex *Exploration) Obligation {
 		ka := s.Lead.Ka
 		inUseStates++
 		ideal := symbolic.NewSet(ka, pa)
+		if ex.System.Config().Failover {
+			ideal.Add(ex.System.ReplKey())
+		}
 		if !symbolic.SetInCoideal(s.TraceContents(), ideal) {
 			return fail("5.2", "secrecy of in-use session keys K_a",
 				fmt.Sprintf("trace escapes C({K_a,P_a}) for %s at %s", ka, s), n)
@@ -79,6 +85,28 @@ func CheckSecrecySession(ex *Exploration) Obligation {
 	}
 	return pass("5.2", "secrecy of in-use session keys K_a",
 		fmt.Sprintf("%d states with a key in use", inUseStates))
+}
+
+// CheckSecrecyRepl verifies the failover extension's counterpart of 5.1 for
+// the replication key: K_r occurs nowhere in the trace and never enters the
+// intruder's knowledge. K_r is pre-shared between primary and standby and
+// only ever used as a sealing key, so it inherits the regularity argument of
+// P_a — and with it, via the generalized 5.2 ideal, the secrecy of every
+// replicated session key.
+func CheckSecrecyRepl(ex *Exploration) Obligation {
+	kr := ex.System.ReplKey()
+	for _, n := range ex.Nodes {
+		if n.State.TraceParts().Contains(kr) {
+			return fail("5.5", "secrecy of replication key K_r",
+				fmt.Sprintf("K_r occurs in Parts(trace) at %s", n.State), n)
+		}
+		if n.State.IK.Contains(kr) {
+			return fail("5.5", "secrecy of replication key K_r",
+				fmt.Sprintf("intruder knows K_r at %s", n.State), n)
+		}
+	}
+	return pass("5.5", "secrecy of replication key K_r",
+		fmt.Sprintf("%d states", len(ex.Nodes)))
 }
 
 // CheckOopsedKeysArePublic is the sanity complement of 5.2: once a session
@@ -196,6 +224,7 @@ func AllInvariants(ex *Exploration) []Obligation {
 		CheckRegularity(ex),
 		CheckSecrecyLongTerm(ex),
 		CheckSecrecySession(ex),
+		CheckSecrecyRepl(ex),
 		CheckOopsedKeysArePublic(ex),
 		CheckPrefixDelivery(ex),
 		CheckAuthentication(ex),

@@ -297,11 +297,18 @@ func (l *LeaderSession) maybeSendNext(ev *LeaderEvent) error {
 // emitAdmin builds {L, A, N_{2i+1}, N_{2i+2}, X}_Ka and moves to
 // WaitingForAck.
 func (l *LeaderSession) emitAdmin(body wire.AdminBody) (*wire.Envelope, error) {
+	return l.emitAdminAs(wire.TypeAdminMsg, body)
+}
+
+// emitAdminAs is emitAdmin under an explicit envelope type: the resumption
+// sub-protocol reuses the AdminMsg shape as its ResumeAck, with the type
+// authenticated through the AEAD header.
+func (l *LeaderSession) emitAdminAs(typ wire.Type, body wire.AdminBody) (*wire.Envelope, error) {
 	next, err := crypto.NewNonce()
 	if err != nil {
 		return nil, err
 	}
-	env := wire.Envelope{Type: wire.TypeAdminMsg, Sender: l.leader, Receiver: l.user}
+	env := wire.Envelope{Type: typ, Sender: l.leader, Receiver: l.user}
 	l.seq++
 	p := wire.AdminMsgPayload{
 		Leader: l.leader,

@@ -16,6 +16,9 @@ const (
 	MemberWaitingForKey
 	MemberConnected
 	MemberClosed
+	// MemberResuming: a Resume is outstanding against a promoted standby
+	// (session-resumption sub-protocol, see resume.go).
+	MemberResuming
 )
 
 func (p MemberPhase) String() string {
@@ -28,6 +31,8 @@ func (p MemberPhase) String() string {
 		return "Connected"
 	case MemberClosed:
 		return "Closed"
+	case MemberResuming:
+		return "Resuming"
 	default:
 		return "invalid"
 	}
@@ -131,6 +136,8 @@ func (m *MemberSession) Handle(env wire.Envelope) (MemberEvent, error) {
 		return m.handleKeyDist(env)
 	case wire.TypeAdminMsg:
 		return m.handleAdmin(env)
+	case wire.TypeResumeAck:
+		return m.handleResumeAck(env)
 	default:
 		return MemberEvent{}, fmt.Errorf("%w: member got %s", ErrState, env.Type)
 	}

@@ -34,6 +34,9 @@ var (
 	mDuplicated = metrics.NewCounter("faultnet_duplicated_total")
 	mReordered  = metrics.NewCounter("faultnet_reordered_total")
 	mResets     = metrics.NewCounter("faultnet_resets_total")
+	// mSeverDrops counts frames blackholed by Sever (also included in
+	// mDropped), so a failover test can see its kill switch working.
+	mSeverDrops = metrics.NewCounter("faultnet_sever_drops_total")
 )
 
 // DirFaults configures fault injection for one direction of a link.
@@ -103,8 +106,21 @@ type Conn struct {
 
 	delivered, dropped, duplicated, reordered, resets atomic.Uint64
 
+	// severed is the crash/restart primitive: while set, both directions
+	// blackhole every frame — Sever simulates the process dying (or the host
+	// dropping off the network) without tearing the connection objects down,
+	// and Restore brings it back. The flag is checked BEFORE any PRNG draw,
+	// so a sever window never shifts the deterministic decision stream of
+	// the frames around it: a run with a sever and one without make
+	// identical per-frame decisions for every frame that reaches the dice.
+	severed atomic.Bool
+
 	closeOnce sync.Once
 }
+
+// Link is the chaos-rig name for a fault-injected connection: the unit a
+// failover test severs and restores.
+type Link = Conn
 
 var _ transport.Conn = (*Conn)(nil)
 
@@ -183,6 +199,20 @@ func (c *Conn) Close() error {
 	return nil
 }
 
+// Sever blackholes the link in both directions — the crash half of the
+// crash/restart primitive. Unlike Close, the endpoints stay alive: Send
+// still accepts frames (they die in the pipeline) and Recv keeps blocking,
+// which is exactly what a peer of a crashed process observes.
+func (c *Conn) Sever() { c.severed.Store(true) }
+
+// Restore lifts a Sever; frames flow (and consume PRNG draws) again.
+// Frames swallowed during the window stay lost — a restart recovers the
+// host, not the packets.
+func (c *Conn) Restore() { c.severed.Store(false) }
+
+// Severed reports whether the link is currently severed.
+func (c *Conn) Severed() bool { return c.severed.Load() }
+
 // Stats returns the fault counters so far.
 func (c *Conn) Stats() Stats {
 	return Stats{
@@ -236,6 +266,14 @@ func (c *Conn) pump(src *queue.Queue[wire.Envelope], f DirFaults, rng *rand.Rand
 	var held []wire.Envelope
 	flushHeld := func() {
 		for _, h := range held {
+			// A crash loses held frames too: nothing a dead process buffered
+			// ever reaches the wire.
+			if c.severed.Load() {
+				c.dropped.Add(1)
+				mDropped.Inc()
+				mSeverDrops.Inc()
+				continue
+			}
 			deliver(h)
 			c.delivered.Add(1)
 			mDelivered.Inc()
@@ -275,6 +313,15 @@ func (c *Conn) pump(src *queue.Queue[wire.Envelope], f DirFaults, rng *rand.Rand
 		}
 		count++
 
+		// Sever overrides everything, including a closed chaos window: a
+		// crashed host delivers nothing no matter how clean the link is. The
+		// drop happens before any PRNG draw, preserving decision alignment.
+		if c.severed.Load() {
+			c.dropped.Add(1)
+			mDropped.Inc()
+			mSeverDrops.Inc()
+			continue
+		}
 		if c.healed() {
 			flushHeld()
 			if !deliver(e) {
@@ -376,6 +423,25 @@ func (n *Network) Dial(addr string) (*Conn, error) {
 	n.conns = append(n.conns, c)
 	n.mu.Unlock()
 	return c, nil
+}
+
+// SeverAll severs every connection dialed so far — the whole-host crash a
+// failover test kills the primary with when members share one network.
+func (n *Network) SeverAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, c := range n.conns {
+		c.Sever()
+	}
+}
+
+// RestoreAll lifts every sever.
+func (n *Network) RestoreAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, c := range n.conns {
+		c.Restore()
+	}
 }
 
 // Stats sums the fault counters across every connection dialed so far.

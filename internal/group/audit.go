@@ -24,6 +24,10 @@ const (
 	// (the on-leave rekey fires), but distinguishable so operators can tell
 	// failure-driven departures from voluntary ones; Detail names the cause.
 	EventEvicted
+	// EventResumed: a member re-attached to this (promoted) leader through
+	// the failover resumption sub-protocol, under its existing session key —
+	// no password re-handshake.
+	EventResumed
 )
 
 func (k EventKind) String() string {
@@ -40,6 +44,8 @@ func (k EventKind) String() string {
 		return "Rejected"
 	case EventEvicted:
 		return "Evicted"
+	case EventResumed:
+		return "Resumed"
 	default:
 		return "invalid"
 	}
@@ -111,6 +117,31 @@ func (a *auditor) emit(ev Event) {
 	a.seq++
 	ev.Seq = a.seq
 	_ = a.q.Push(ev)
+	a.mu.Unlock()
+}
+
+// current returns the last assigned trace ID — the audit high-water mark
+// stamped onto replication deltas so a promoted standby continues the trace
+// instead of restarting it.
+func (a *auditor) current() uint64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seq
+}
+
+// seed advances the trace ID to at least seq; a promoted standby seeds from
+// the replicated high-water mark so its events extend the primary's trace.
+func (a *auditor) seed(seq uint64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if seq > a.seq {
+		a.seq = seq
+	}
 	a.mu.Unlock()
 }
 

@@ -16,6 +16,7 @@ import (
 	"enclaves/internal/core"
 	"enclaves/internal/crypto"
 	"enclaves/internal/queue"
+	"enclaves/internal/replica"
 	"enclaves/internal/transport"
 	"enclaves/internal/wire"
 )
@@ -85,6 +86,17 @@ type Config struct {
 	// allowed to grow leader memory without bound. Zero means the default
 	// of 1024 frames; negative means unbounded (the pre-liveness behavior).
 	OutboxLimit int
+	// ReplKey, when valid, enables leader replication: a standby holding
+	// the same pre-shared key may subscribe on the ordinary listener (its
+	// first frame is a sealed ReplState hello) and mirrors membership,
+	// epoch, group key and audit state in real time. See internal/replica
+	// and Promote.
+	ReplKey crypto.Key
+	// ReplPing paces liveness pings on the replication stream so the
+	// standby's silence detector sees traffic even when the group is
+	// quiescent. Zero disables pings (the standby then relies on organic
+	// delta traffic). Only meaningful with a valid ReplKey.
+	ReplPing time.Duration
 }
 
 // defaultOutboxLimit bounds per-member outbound queues unless overridden.
@@ -110,12 +122,22 @@ type Leader struct {
 	// fan parallelizes broadcast fan-out; nil means sequential.
 	fan *fanout
 
+	// repl streams state deltas to the subscribed standby; nil when
+	// replication is disabled. Delta publication only enqueues — sealing
+	// and sending happen on the sender's own writer goroutine.
+	repl *replica.Sender
+
 	mu       sync.Mutex
 	users    map[string]crypto.Key
 	groupKey crypto.Key
 	epoch    uint64
 	closed   bool
 	conns    map[transport.Conn]bool // every live connection, accepted or not
+	// resumable holds replicated sessions awaiting resumption after a
+	// promotion (Promote): user -> engine state. An entry is claimed by the
+	// first successful Resume; a member that never resumes simply rejoins
+	// with the full password handshake.
+	resumable map[string]core.SessionState
 	// rekeyPending/rekeyTimer implement the coalescing window: the first
 	// debounced trigger arms the timer, later triggers inside the window
 	// fold into it, and any immediate rotation absorbs the pending one.
@@ -288,11 +310,50 @@ func NewLeader(cfg Config) (*Leader, error) {
 		epoch:     1,
 		stop:      make(chan struct{}),
 	}
+	if cfg.ReplKey.Valid() {
+		repl, err := replica.NewSender(cfg.Name, cfg.ReplKey)
+		if err != nil {
+			return nil, err
+		}
+		g.repl = repl
+		if cfg.ReplPing > 0 {
+			g.wg.Add(1)
+			go g.replPingLoop(cfg.ReplPing)
+		}
+	}
 	if g.liveness.enabled() {
 		g.wg.Add(1)
 		go g.livenessLoop()
 	}
 	return g, nil
+}
+
+// replPingLoop keeps the replication stream demonstrably alive while the
+// group is quiescent, so the standby's silence detector never confuses an
+// idle group with a dead primary.
+func (g *Leader) replPingLoop(every time.Duration) {
+	defer g.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.replPublish(replica.Delta{Kind: wire.ReplPing})
+		}
+	}
+}
+
+// replPublish stamps the audit high-water mark onto a delta and hands it to
+// the replication sender; a no-op without replication. It only enqueues, so
+// it is safe under any of the leader's locks.
+func (g *Leader) replPublish(d replica.Delta) {
+	if g.repl == nil {
+		return
+	}
+	d.AuditSeq = g.audit.current()
+	g.repl.Publish(d)
 }
 
 // Name returns the leader's identity.
@@ -381,6 +442,9 @@ func (g *Leader) Close() {
 	for _, c := range conns {
 		c.Close()
 	}
+	if g.repl != nil {
+		g.repl.Detach()
+	}
 	g.wg.Wait()
 	// Every broadcast dispatcher (serveConn handlers, the liveness loop,
 	// the flush timer's closed check) has stopped by now, so the fan-out
@@ -421,6 +485,7 @@ func (g *Leader) rekeyLocked() error {
 	g.logf("group: rekey to epoch %d", g.epoch)
 	mRekeys.Inc()
 	g.audit.emit(Event{Kind: EventRekeyed, Epoch: g.epoch})
+	g.replPublish(replica.Delta{Kind: wire.ReplRekey, Epoch: g.epoch, GroupKey: kg})
 	g.broadcastAdminLocked(wire.NewGroupKey{Epoch: g.epoch, Key: kg}, "")
 	return nil
 }
@@ -456,7 +521,10 @@ func (g *Leader) Expel(user string) error {
 	return nil
 }
 
-// serveConn runs the protocol for one inbound connection.
+// serveConn runs the protocol for one inbound connection. The first frame
+// selects the role: AuthInitReq starts the ordinary join handshake, Resume
+// starts the failover resumption sub-protocol, and a ReplState hello (with
+// replication enabled) subscribes a standby.
 func (g *Leader) serveConn(conn transport.Conn) {
 	g.mu.Lock()
 	if g.closed {
@@ -473,44 +541,67 @@ func (g *Leader) serveConn(conn transport.Conn) {
 		conn.Close()
 	}()
 
-	// First frame must be an AuthInitReq; its (unauthenticated) sender
-	// name selects the long-term key, and the encrypted identities inside
-	// then authenticate the claim.
 	first, err := conn.Recv()
 	if err != nil {
 		return
 	}
-	if first.Type != wire.TypeAuthInitReq {
+	var s *memberConn
+	switch first.Type {
+	case wire.TypeAuthInitReq:
+		s = g.startJoin(conn, first)
+	case wire.TypeResume:
+		s = g.startResume(conn, first)
+	case wire.TypeReplState:
+		g.serveReplica(conn, first)
+		return
+	default:
 		g.logf("group: connection opened with %s, dropping", first.Type)
 		return
 	}
+	if s == nil {
+		return
+	}
+	g.runMember(s)
+}
+
+// startJoin runs the password-based join handshake: the first frame's
+// (unauthenticated) sender name selects the long-term key, and the
+// encrypted identities inside then authenticate the claim. It returns the
+// registered-but-not-yet-accepted member connection, or nil on failure.
+func (g *Leader) startJoin(conn transport.Conn, first wire.Envelope) *memberConn {
 	g.mu.Lock()
 	longTerm, known := g.users[first.Sender]
 	g.mu.Unlock()
 	if !known {
 		g.logf("group: join from unknown user %q", first.Sender)
-		return
+		return nil
 	}
 	engine, err := core.NewLeaderSession(g.name, first.Sender, longTerm)
 	if err != nil {
-		return
+		return nil
 	}
 	ev, err := engine.Handle(first)
 	if err != nil {
 		g.logf("group: auth of %q failed: %v", first.Sender, err)
-		return
+		return nil
 	}
 	if err := conn.Send(*ev.Reply); err != nil {
-		return
+		return nil
 	}
-
-	s := &memberConn{
+	return &memberConn{
 		user:   engine.User(),
 		conn:   conn,
 		engine: engine,
 		out:    queue.NewBounded[outFrame](g.outboxCap),
 		slot:   g.reg.slotFor(engine.User()),
 	}
+}
+
+// runMember drives an established member connection: a writer goroutine
+// drains the outbox while readLoop processes inbound frames; on either
+// ending, the member is torn down.
+func (g *Leader) runMember(s *memberConn) {
+	conn := s.conn
 	// Writer goroutine: drains the outbox in batches so broadcasts never
 	// block, seals admin bodies here — outside Leader.mu — so a slow AEAD
 	// or a slow member never holds up the whole group, and transmits each
@@ -577,6 +668,169 @@ func (g *Leader) serveConn(conn transport.Conn) {
 	}
 }
 
+// serveReplica authenticates a standby's subscription hello and attaches it
+// to the replication sender with a snapshot of the current state. The
+// snapshot is built and the subscriber attached inside one critical
+// section, so every g.mu-serialized delta emitted afterwards linearizes
+// after the snapshot; only the enqueue happens under the lock — the
+// sender's writer goroutine seals and transmits.
+func (g *Leader) serveReplica(conn transport.Conn, first wire.Envelope) {
+	if g.repl == nil {
+		g.logf("group: replication subscription without replication enabled, dropping")
+		return
+	}
+	standby, n0, err := g.repl.HandleHello(first)
+	if err != nil {
+		g.logf("group: %v", err)
+		return
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	snap := g.snapshotLocked()
+	g.repl.Attach(conn, standby, n0, snap)
+	g.mu.Unlock()
+	g.logf("group: standby %q subscribed (%d members)", standby, len(snap.Members))
+
+	// The stream is one-way; park on the read side so serveConn's teardown
+	// does not close the connection under the sender. Anything the standby
+	// sends after the hello is ignored.
+	for {
+		if _, err := conn.Recv(); err != nil {
+			return
+		}
+	}
+}
+
+// snapshotLocked captures the replicable group state. Caller holds g.mu;
+// per-member engine state is read under each member's own lock (the
+// permitted Leader.mu -> memberConn.mu order).
+func (g *Leader) snapshotLocked() replica.State {
+	st := replica.State{
+		Primary:  g.name,
+		Epoch:    g.epoch,
+		GroupKey: g.groupKey,
+		AuditSeq: g.audit.current(),
+		Members:  make(map[string]replica.Session),
+	}
+	for _, s := range g.reg.appendAll(nil, "") {
+		s.mu.Lock()
+		es, ok := s.engine.ExportState()
+		s.mu.Unlock()
+		if ok {
+			st.Members[s.user] = replica.Session{
+				SessionKey: es.SessionKey, Nonce: es.Nonce, Seq: es.Seq,
+			}
+		}
+	}
+	return st
+}
+
+// startResume runs the failover resumption sub-protocol: the member proves
+// possession of its replicated session key and latest chained nonce, and
+// re-attaches with no password re-handshake. The ResumeAck carries the
+// current (post-promotion) group key, so a resumed member never holds a
+// pre-promotion key. On any failure the connection drops and the member
+// falls back to the full rejoin.
+func (g *Leader) startResume(conn transport.Conn, first wire.Envelope) *memberConn {
+	user := first.Sender
+	reject := func(detail string) *memberConn {
+		g.logf("group: resume of %q rejected: %s", user, detail)
+		mResumeRejected.Inc()
+		mRejected.Inc()
+		g.audit.emit(Event{Kind: EventRejected, User: user, Epoch: g.Epoch(), Detail: "resume: " + detail})
+		return nil
+	}
+
+	g.mu.Lock()
+	st, ok := g.resumable[user]
+	_, known := g.users[user]
+	g.mu.Unlock()
+	if !ok || !known {
+		return reject("no resumable session")
+	}
+	g.mu.Lock()
+	longTerm := g.users[user]
+	g.mu.Unlock()
+	engine, err := core.ResumeLeaderSession(g.name, user, longTerm, st)
+	if err != nil {
+		return reject(err.Error())
+	}
+	if _, err := engine.HandleResume(first); err != nil {
+		// Authentication or freshness failure: the resumable entry stays, so
+		// a replayed Resume cannot burn a member's one shot at resumption.
+		return reject(err.Error())
+	}
+
+	// Claim the entry (one-shot: a second resume for the same user must
+	// re-handshake) and read the key the ResumeAck will carry.
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	if _, still := g.resumable[user]; !still {
+		g.mu.Unlock()
+		return reject("session already resumed")
+	}
+	delete(g.resumable, user)
+	body := wire.NewGroupKey{Epoch: g.epoch, Key: g.groupKey}
+	g.mu.Unlock()
+
+	s := &memberConn{
+		user:   user,
+		conn:   conn,
+		engine: engine,
+		out:    queue.NewBounded[outFrame](g.outboxCap),
+		slot:   g.reg.slotFor(user),
+	}
+	now := time.Now()
+	s.mu.Lock()
+	ack, err := engine.EmitResumeAck(body)
+	if err == nil {
+		s.trackLocked(*ack, now)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return reject(err.Error())
+	}
+	if err := conn.Send(*ack); err != nil {
+		return nil
+	}
+
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	if displaced := g.reg.insert(s); displaced == nil {
+		mMembers.Add(1)
+	}
+	mResumes.Inc()
+	g.logf("group: %s resumed (members: %d)", user, g.reg.size())
+	g.audit.emit(Event{Kind: EventResumed, User: user, Epoch: g.epoch})
+	g.broadcastAdminLocked(wire.MemberJoined{Name: user}, user)
+	// A rekey may have won the race between reading the ResumeAck body and
+	// registering; queue the current key so the member converges (ordered
+	// after the ResumeAck by the ack-gated pipeline).
+	if g.epoch != body.Epoch {
+		g.sendAdminLocked(s, wire.NewGroupKey{Epoch: g.epoch, Key: g.groupKey})
+	}
+	g.sendAdminLocked(s, wire.MemberList{Names: g.reg.names()})
+	s.mu.Lock()
+	if es, ok := engine.ExportState(); ok {
+		g.replPublish(replica.Delta{
+			Kind: wire.ReplMemberUp, User: user,
+			Session: es.SessionKey, Nonce: es.Nonce, Seq: es.Seq,
+		})
+	}
+	s.mu.Unlock()
+	g.mu.Unlock()
+	return s
+}
+
 // readLoop processes frames from one member until the connection drops or
 // the session closes.
 func (g *Leader) readLoop(s *memberConn) {
@@ -616,6 +870,13 @@ func (g *Leader) handleProtocol(s *memberConn, env wire.Envelope) bool {
 	}
 	if ev.Acked {
 		s.ackLocked(ev.AckedSeq, now)
+		// Mirror the advanced chained nonce to the standby: the session is
+		// only resumable from a nonce both sides agree on.
+		if es, ok := s.engine.ExportState(); ok {
+			g.replPublish(replica.Delta{
+				Kind: wire.ReplSessionSync, User: s.user, Nonce: es.Nonce, Seq: es.Seq,
+			})
+		}
 	}
 	if ev.Closed {
 		s.unacked = nil
@@ -706,6 +967,14 @@ func (g *Leader) acceptLocked(s *memberConn) {
 	g.logf("group: %s joined (members: %d)", s.user, g.reg.size())
 	mJoins.Inc()
 	g.audit.emit(Event{Kind: EventJoined, User: s.user, Epoch: g.epoch})
+	s.mu.Lock()
+	if es, ok := s.engine.ExportState(); ok {
+		g.replPublish(replica.Delta{
+			Kind: wire.ReplMemberUp, User: s.user,
+			Session: es.SessionKey, Nonce: es.Nonce, Seq: es.Seq,
+		})
+	}
+	s.mu.Unlock()
 
 	// Inform the rest of the group first, then bring the new member up to
 	// date. Admin messages to each member are totally ordered by the
@@ -738,6 +1007,7 @@ func (g *Leader) acceptLocked(s *memberConn) {
 // because the departed member is already out of the registry, so the
 // eventual NewGroupKey broadcast cannot reach it.
 func (g *Leader) departedLocked(user string, immediate bool) {
+	g.replPublish(replica.Delta{Kind: wire.ReplMemberDown, User: user})
 	g.broadcastAdminLocked(wire.MemberLeft{Name: user}, "")
 	if !g.rekey.OnLeave || g.reg.size() == 0 {
 		return

@@ -19,6 +19,13 @@ var (
 	// reconciliation identity the chaos soak asserts.
 	mRekeysCoalesced = metrics.NewCounter("group_rekeys_coalesced_total")
 
+	// mResumes counts sessions re-attached through the failover resumption
+	// sub-protocol (no password re-handshake); mResumeRejected counts Resume
+	// frames that failed authentication or freshness and fell back to a full
+	// rejoin.
+	mResumes        = metrics.NewCounter("group_resumes_total")
+	mResumeRejected = metrics.NewCounter("group_resume_rejected_total")
+
 	mAdminSent   = metrics.NewCounter("group_admin_sent_total")
 	mAdminAcked  = metrics.NewCounter("group_admin_acked_total")
 	mRetransmits = metrics.NewCounter("group_retransmits_total")

@@ -1,0 +1,84 @@
+package group
+
+import (
+	"errors"
+	"fmt"
+
+	"enclaves/internal/core"
+	"enclaves/internal/replica"
+)
+
+// Promote builds a Leader from a standby's replicated state after the
+// primary has been declared dead. The promoted leader:
+//
+//   - assumes the PRIMARY's identity — members derived their long-term keys
+//     binding that leader name, and resumption authenticates against it;
+//   - seeds group key, epoch, audit sequence and the per-member resumable
+//     session table from the replica;
+//   - immediately forces exactly one rekey, so the key a compromised
+//     ex-primary still holds dies with the promotion: resumed members
+//     receive the fresh post-promotion key inside their ResumeAck and never
+//     hold a pre-promotion key.
+//
+// Members that hit ErrLeaderSilent re-attach through the resumption
+// sub-protocol (core.ResumeLeaderSession / startResume) under their
+// existing session keys — no password re-handshake, no O(n) re-enrollment
+// storm. Sessions whose replicated nonce lags (an ack in flight when the
+// primary died) fail the freshness check and fall back to the ordinary
+// join.
+//
+// cfg.Name is overridden by the replicated primary identity; everything
+// else (Users, policies, liveness, even a ReplKey for a next-generation
+// standby) applies as in NewLeader.
+func Promote(cfg Config, st replica.State) (*Leader, error) {
+	if st.Primary == "" {
+		return nil, errors.New("group: replica has no primary identity")
+	}
+	if !st.GroupKey.Valid() {
+		return nil, errors.New("group: replica has no group key (standby never synced)")
+	}
+	cfg.Name = st.Primary
+	g, err := NewLeader(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	g.mu.Lock()
+	g.groupKey = st.GroupKey
+	g.epoch = st.Epoch
+	g.audit.seed(st.AuditSeq)
+	g.resumable = make(map[string]core.SessionState, len(st.Members))
+	for user := range st.Members {
+		if _, known := g.users[user]; !known {
+			// A session for a user this standby is not configured to serve
+			// cannot be resumed; it will be refused and rejoin elsewhere.
+			g.logf("group: replicated session for unknown user %q dropped", user)
+			continue
+		}
+		ss, _ := st.SessionState(user)
+		g.resumable[user] = ss
+	}
+	// The forced post-promotion rotation (exactly one: rekeyLocked emits the
+	// single EventRekeyed and ReplRekey delta). The registry is still empty,
+	// so the broadcast has no receivers; resuming members get the new key in
+	// their ResumeAck, and late rejoiners through acceptLocked.
+	if err := g.rekeyLocked(); err != nil {
+		g.mu.Unlock()
+		g.Close()
+		return nil, fmt.Errorf("group: post-promotion rekey: %w", err)
+	}
+	resumable := len(g.resumable)
+	epoch := g.epoch
+	g.mu.Unlock()
+
+	g.logf("group: promoted as %q: %d resumable sessions, epoch %d", g.name, resumable, epoch)
+	return g, nil
+}
+
+// ResumableSessions reports how many replicated sessions are still awaiting
+// resumption (for tests and operational introspection).
+func (g *Leader) ResumableSessions() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.resumable)
+}

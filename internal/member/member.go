@@ -474,6 +474,11 @@ func (m *Member) handle(env wire.Envelope) {
 	switch env.Type {
 	case wire.TypeAdminMsg:
 		m.handleAdmin(env)
+	case wire.TypeResumeAck:
+		// A retransmitted ResumeAck (our completing ack was lost) is rejected
+		// by the engine — the resumption already consumed it — but the re-ack
+		// cache seeded by Resume answers it, same as a duplicate AdminMsg.
+		m.handleAdmin(env)
 	case wire.TypeAppData:
 		m.handleAppData(env)
 	default:

@@ -13,4 +13,11 @@ var (
 	mWatchdogTrips = metrics.NewCounter("member_watchdog_trips_total")
 	mReacks        = metrics.NewCounter("member_reacks_total")
 	mRejoins       = metrics.NewCounter("member_rejoins_total")
+
+	// Failover resumption: attempts by the supervisor, sessions actually
+	// re-attached without a password re-handshake, and attempts that fell
+	// back to the full rejoin.
+	mResumeAttempts = metrics.NewCounter("member_resume_attempts_total")
+	mResumed        = metrics.NewCounter("member_resumed_total")
+	mResumeFallback = metrics.NewCounter("member_resume_fallback_total")
 )

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"enclaves/internal/core"
 	"enclaves/internal/crypto"
 	"enclaves/internal/queue"
 	"enclaves/internal/transport"
@@ -37,8 +38,12 @@ type SessionConfig struct {
 	User string
 	// Endpoints are tried in order on every (re)join round.
 	Endpoints []Endpoint
-	// Backoff is the delay before the first rejoin attempt; it doubles per
-	// failed round, capped at 32x. Zero means 50ms.
+	// Backoff is the base delay before the first rejoin attempt; it doubles
+	// per failed round, capped at 32x, and every wait is jittered uniformly
+	// over [backoff/2, backoff) from a PRNG seeded by the user name — after
+	// a leader failure, thousands of members desynchronize their reconnect
+	// attempts deterministically instead of stampeding the promoted standby
+	// in lockstep. Zero means 50ms.
 	Backoff time.Duration
 	// MaxRounds bounds rejoin rounds (a round tries every endpoint once);
 	// zero means unlimited.
@@ -134,9 +139,13 @@ func (s *Session) joinOnce() (*Member, error) {
 }
 
 // supervise pumps the current member's events and rejoins on involuntary
-// loss.
+// loss. A session lost to leader silence (failover) first tries the
+// resumption sub-protocol — re-attaching to the promoted standby under the
+// existing session key, no password re-handshake — and only falls back to
+// the full join when resumption is refused or unreachable.
 func (s *Session) supervise(m *Member) {
 	defer close(s.done)
+	rng := newJitterRNG(s.cfg.User)
 	s.events.Push(Event{Kind: EventJoined, Name: s.cfg.User})
 	for {
 		failure := s.pump(m)
@@ -150,10 +159,19 @@ func (s *Session) supervise(m *Member) {
 			s.events.Close()
 			return
 		}
+		// Silence means the leader is gone (wedged, partitioned, dead) — the
+		// failover case resumption exists for. An ordinary connection loss to
+		// a healthy leader re-joins directly; a live primary has no resumable
+		// entry and would refuse anyway.
+		var resumeSt core.SessionState
+		var canResume bool
+		if errors.Is(failure, ErrLeaderSilent) {
+			resumeSt, canResume = m.ResumeState()
+		}
 
-		// Rejoin rounds with exponential backoff. The wait is cancellable:
-		// Close must not block behind a sleep that can reach 32x the base
-		// backoff.
+		// Rejoin rounds with jittered exponential backoff. The wait is
+		// cancellable: Close must not block behind a sleep that can reach 32x
+		// the base backoff.
 		backoff := s.cfg.Backoff
 		round := 0
 		for {
@@ -163,7 +181,7 @@ func (s *Session) supervise(m *Member) {
 				s.events.Close()
 				return
 			}
-			wait := time.NewTimer(backoff)
+			wait := time.NewTimer(rng.jittered(backoff))
 			select {
 			case <-wait.C:
 			case <-s.closing:
@@ -180,12 +198,36 @@ func (s *Session) supervise(m *Member) {
 				s.events.Close()
 				return
 			}
-			mRejoins.Inc()
-			next, err := s.joinOnce()
-			if err != nil {
-				continue
+			var next *Member
+			if canResume {
+				mResumeAttempts.Inc()
+				if r, err := s.resumeOnce(resumeSt); err == nil {
+					next = r
+				} else {
+					mResumeFallback.Inc()
+				}
+			}
+			if next == nil {
+				mRejoins.Inc()
+				joined, err := s.joinOnce()
+				if err != nil {
+					continue
+				}
+				next = joined
+				canResume = false // fresh session; the old state is obsolete
 			}
 			s.mu.Lock()
+			if s.closed {
+				// Close ran while the join/resume was in flight: it found no
+				// current member to Leave, so this one is ours to dismantle —
+				// installing it would leave pump blocked on a session nobody
+				// ever closes.
+				s.mu.Unlock()
+				next.Leave()
+				s.events.Push(Event{Kind: EventClosed})
+				s.events.Close()
+				return
+			}
 			s.current = next
 			s.mu.Unlock()
 			m = next
@@ -193,6 +235,69 @@ func (s *Session) supervise(m *Member) {
 			break
 		}
 	}
+}
+
+// resumeOnce tries the resumption sub-protocol against every endpoint
+// carrying the failed session's leader identity: the promoted standby
+// assumes the primary's name (the members' long-term keys bind it), so only
+// its address differs.
+func (s *Session) resumeOnce(st core.SessionState) (*Member, error) {
+	var lastErr error
+	for _, ep := range s.cfg.Endpoints {
+		if ep.Leader != st.Leader {
+			continue
+		}
+		conn, err := ep.Dial()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		m, err := Resume(conn, st, ep.LongTerm, Options{SilenceTimeout: s.cfg.SilenceTimeout})
+		if err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		return m, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("member: no endpoint matches the resumable leader")
+	}
+	return nil, lastErr
+}
+
+// jitterRNG is a tiny deterministic PRNG (splitmix64) seeded from the
+// member's name: distinct members draw distinct jitter streams, one member's
+// schedule reproduces run to run, and neither math/rand (banned in protocol
+// packages) nor the clock is involved.
+type jitterRNG uint64
+
+func newJitterRNG(user string) *jitterRNG {
+	// FNV-1a spreads the name over the seed space.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(user); i++ {
+		h ^= uint64(user[i])
+		h *= 1099511628211
+	}
+	r := jitterRNG(h)
+	return &r
+}
+
+func (r *jitterRNG) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4b9e9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// jittered spreads a delay uniformly over [d/2, d).
+func (r *jitterRNG) jittered(d time.Duration) time.Duration {
+	half := uint64(d) / 2
+	if half == 0 {
+		return d
+	}
+	return time.Duration(half + r.next()%half)
 }
 
 // pump forwards m's events until it closes; it returns the closure error

@@ -2,6 +2,7 @@ package member
 
 import (
 	"errors"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -241,4 +242,67 @@ func TestSessionConfigValidation(t *testing.T) {
 	if err == nil {
 		t.Error("unreachable endpoint accepted")
 	}
+}
+
+// TestCloseDuringRejoinRace: a Close that lands while a rejoin attempt is
+// in flight finds no current member to Leave — the attempt must then
+// dismantle whatever it joined instead of installing it into the closed
+// session, or pump blocks on a member nobody will ever close and Close
+// hangs on the supervisor (found as a teardown hang in BenchmarkFailover
+// at 1024 members). The redial is gated so the window is held open
+// deterministically.
+func TestCloseDuringRejoinRace(t *testing.T) {
+	net := transport.NewMemNetwork()
+	defer net.Close()
+	g := startLeader(t, net, "primary", []string{"alice"})
+
+	var calls atomic.Int32
+	dialing := make(chan struct{})
+	gate := make(chan struct{})
+	var firstConn transport.Conn
+	ep := endpoint(net, "primary", "alice")
+	base := ep.Dial
+	ep.Dial = func() (transport.Conn, error) {
+		if calls.Add(1) == 1 {
+			c, err := base()
+			firstConn = c
+			return c, err
+		}
+		dialing <- struct{}{}
+		<-gate
+		return base()
+	}
+
+	s, err := NewSession(SessionConfig{
+		User:      "alice",
+		Endpoints: []Endpoint{ep},
+		Backoff:   2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Involuntary loss: kill the live conn out from under the member, then
+	// hold the resulting rejoin attempt open at its dial.
+	firstConn.Close()
+	<-dialing
+
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	waitSession(t, "close marks the session", func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.closed
+	})
+	close(gate) // the in-flight rejoin now completes against the live leader
+
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung: in-flight rejoin was installed into a closed session")
+	}
+	waitSession(t, "leader drains the raced join", func() bool { return len(g.Members()) == 0 })
 }

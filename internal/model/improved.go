@@ -35,15 +35,20 @@ func (st Step) String() string {
 type System struct {
 	cfg Config
 	pa  *symbolic.Field // A's long-term key P_a
+	kr  *symbolic.Field // replication key K_r (failover extension)
 	a   *symbolic.Field
 	l   *symbolic.Field
 }
 
 // NewSystem returns the improved-protocol model bounded by cfg.
 func NewSystem(cfg Config) *System {
+	if cfg.Failover && cfg.MaxFailovers == 0 {
+		cfg.MaxFailovers = 1
+	}
 	return &System{
 		cfg: cfg,
 		pa:  symbolic.LongTermKey(AgentUser),
+		kr:  symbolic.LongTermKey(AgentStandby),
 		a:   symbolic.Agent(AgentUser),
 		l:   symbolic.Agent(AgentLeader),
 	}
@@ -54,6 +59,11 @@ func (sys *System) Config() Config { return sys.cfg }
 
 // LongTermKey returns P_a, the long-term key shared by A and L.
 func (sys *System) LongTermKey() *symbolic.Field { return sys.pa }
+
+// ReplKey returns K_r, the replication key shared by the primary and the
+// standby (failover extension). Like P_a it is pre-shared out of band and
+// must never occur in the trace.
+func (sys *System) ReplKey() *symbolic.Field { return sys.kr }
 
 // Initial returns the initial global state q0.
 func (sys *System) Initial() *State { return NewInitialState() }
@@ -87,6 +97,11 @@ func (sys *System) userSteps(s *State) []Step {
 	case UserConnected:
 		steps = append(steps, sys.userRecvAdmin(s)...)
 		steps = append(steps, sys.userLeave(s))
+		if sys.cfg.Failover && s.ResumesStarted < s.Failovers {
+			steps = append(steps, sys.userStartResume(s))
+		}
+	case UserResuming:
+		steps = append(steps, sys.userRecvResumeAck(s)...)
 	}
 	return steps
 }
@@ -203,6 +218,71 @@ func (sys *System) userLeave(s *State) Step {
 	return Step{Actor: AgentUser, Action: "leave: send ReqClose", Emitted: &m, Next: n}
 }
 
+// userStartResume (failover extension): Connected(Na, Ka) -> Resuming(Nf, Ka)
+// after a primary crash; A sends Resume with {A, L, Na, Nf}_Ka — the last
+// chained nonce Na proves the session to the promoted standby, the fresh Nf
+// is the nonce A expects echoed in the ResumeAck. The content shape is that
+// of an Ack; the nonce discipline keeps the two apart (in the runtime the
+// AEAD additional data also binds the envelope type).
+func (sys *System) userStartResume(s *State) Step {
+	n := s.Clone()
+	nf := n.freshNonce()
+	m := Msg{
+		Label:    LabelResume,
+		Sender:   AgentUser,
+		Receiver: AgentLeader,
+		Content:  symbolic.Enc(symbolic.Tuple(sys.a, sys.l, s.Usr.Na, nf), s.Usr.Ka),
+	}
+	n.record(m)
+	n.Usr = UserState{Phase: UserResuming, Na: nf, Ka: s.Usr.Ka}
+	n.ResumesStarted++
+	return Step{Actor: AgentUser, Action: "detect primary silence, send Resume", Emitted: &m, Next: n}
+}
+
+// userRecvResumeAck (failover extension): Resuming(Nf, Ka) -> Connected(Na',
+// Ka) on reception of {L, A, Nf, N, X}_Ka — the AdminMsg shape, carrying the
+// promoted leader's post-promotion payload X (the runtime's forced rekey).
+// X joins rcv_A like any group-management payload, so the 5.4a prefix
+// property spans the failover. A replies Ack with {A, L, N, Na'}_Ka.
+func (sys *System) userRecvResumeAck(s *State) []Step {
+	var steps []Step
+	if len(s.RcvA) >= sys.cfg.MaxAdmin+2 {
+		return nil
+	}
+	for _, c := range netEncs(s, s.Usr.Ka, 5) {
+		comps := c.Body().Components()
+		if !comps[0].Equal(sys.l) || !comps[1].Equal(sys.a) {
+			continue
+		}
+		// The echoed-nonce guard: without it (WeakResumeFreshness) a
+		// pre-failover AdminMsg replay is indistinguishable from the
+		// ResumeAck and gets re-accepted.
+		if !sys.cfg.WeakResumeFreshness && !comps[2].Equal(s.Usr.Na) {
+			continue
+		}
+		nl, x := comps[3], comps[4]
+		if nl.Kind() != symbolic.KindNonce || x.Kind() != symbolic.KindData {
+			continue
+		}
+		n := s.Clone()
+		na2 := n.freshNonce()
+		m := Msg{
+			Label:    LabelAck,
+			Sender:   AgentUser,
+			Receiver: AgentLeader,
+			Content:  symbolic.Enc(symbolic.Tuple(sys.a, sys.l, nl, na2), s.Usr.Ka),
+		}
+		n.record(m)
+		n.RcvA = append(n.RcvA, x)
+		n.Usr = UserState{Phase: UserConnected, Na: na2, Ka: s.Usr.Ka}
+		steps = append(steps, Step{
+			Actor: AgentUser, Action: fmt.Sprintf("accept ResumeAck %s, send Ack", x),
+			Consumed: c, Emitted: &m, Next: n,
+		})
+	}
+	return steps
+}
+
 // --- leader L (Figure 3) ---
 
 func (sys *System) leaderSteps(s *State) []Step {
@@ -216,8 +296,13 @@ func (sys *System) leaderSteps(s *State) []Step {
 		if s.AdminSent < sys.cfg.MaxAdmin {
 			steps = append(steps, sys.leaderSendAdmin(s))
 		}
+		if sys.cfg.Failover && s.Failovers < sys.cfg.MaxFailovers {
+			steps = append(steps, sys.leaderCrashPromote(s))
+		}
 	case LeadWaitingForAck:
 		steps = append(steps, sys.leaderRecvAck(s)...)
+	case LeadPromoted:
+		steps = append(steps, sys.leaderRecvResume(s)...)
 	}
 	if s.Lead.Phase != LeadNotConnected {
 		steps = append(steps, sys.leaderRecvReqClose(s)...)
@@ -324,6 +409,67 @@ func (sys *System) leaderRecvAck(s *State) []Step {
 	return steps
 }
 
+// leaderCrashPromote (failover extension): Connected(Na, Ka) ->
+// Promoted(Na, Ka). The primary crashes; the last replicated delta
+// {Na, Ka}_Kr is on the wire (the intruder observes it like every message),
+// and the standby — holding K_r — takes over A's session from it. Primary
+// and standby are collapsed into the one leader process L: they share all
+// state by construction, and the crash is fail-stop (no Oops — a crashed
+// primary is dead, not compromised; the compromised-leader case is what
+// the post-promotion rekey in the ResumeAck addresses at the group layer).
+func (sys *System) leaderCrashPromote(s *State) Step {
+	n := s.Clone()
+	m := Msg{
+		Label:    LabelReplDelta,
+		Sender:   AgentLeader,
+		Receiver: AgentStandby,
+		Content:  symbolic.Enc(symbolic.Pair(s.Lead.N, s.Lead.Ka), sys.kr),
+	}
+	n.record(m)
+	n.Lead = LeaderState{Phase: LeadPromoted, N: s.Lead.N, Ka: s.Lead.Ka}
+	n.Failovers++
+	n.AdminSent = 0
+	return Step{Actor: AgentLeader, Action: "primary crashes, standby promoted from ReplDelta", Emitted: &m, Next: n}
+}
+
+// leaderRecvResume (failover extension): Promoted(Na, Ka) ->
+// WaitingForAck(Nl, Ka) on reception of {A, L, Na, Nf}_Ka whose third
+// component matches the replicated nonce Na — a one-shot freshness proof: a
+// replayed Resume echoes a nonce the chain has moved past. The promoted
+// leader answers with the ResumeAck {L, A, Nf, Nl, X}_Ka whose payload X
+// (the runtime's post-promotion group key) joins snd_A, then waits for the
+// ordinary completing Ack.
+func (sys *System) leaderRecvResume(s *State) []Step {
+	var steps []Step
+	for _, c := range netEncs(s, s.Lead.Ka, 4) {
+		comps := c.Body().Components()
+		if !comps[0].Equal(sys.a) || !comps[1].Equal(sys.l) || !comps[2].Equal(s.Lead.N) {
+			continue
+		}
+		nf := comps[3]
+		if nf.Kind() != symbolic.KindNonce {
+			continue
+		}
+		n := s.Clone()
+		nl := n.freshNonce()
+		x := symbolic.Data(fmt.Sprintf("f%dm%d", s.Failovers, len(s.SndA)+1))
+		m := Msg{
+			Label:    LabelResumeAck,
+			Sender:   AgentLeader,
+			Receiver: AgentUser,
+			Content:  symbolic.Enc(symbolic.Tuple(sys.l, sys.a, nf, nl, x), s.Lead.Ka),
+		}
+		n.record(m)
+		n.SndA = append(n.SndA, x)
+		n.Lead = LeaderState{Phase: LeadWaitingForAck, N: nl, Ka: s.Lead.Ka}
+		steps = append(steps, Step{
+			Actor: AgentLeader, Action: fmt.Sprintf("accept Resume, send ResumeAck %s", x),
+			Consumed: c, Emitted: &m, Next: n,
+		})
+	}
+	return steps
+}
+
 // leaderRecvReqClose: any non-NotConnected leader phase -> NotConnected on
 // reception of {A, L}_Ka. The session key is discarded and released to the
 // network by an Oops event (Section 4.1), and snd_A is emptied.
@@ -424,6 +570,29 @@ func (sys *System) intruderSteps(s *State) []Step {
 	if s.Lead.Phase != LeadNotConnected {
 		add(LabelReqClose, AgentLeader,
 			symbolic.Enc(symbolic.Pair(sys.a, sys.l), s.Lead.Ka), "forged ReqClose")
+	}
+	// Failover extension: forged Resume for a promoted leader and forged
+	// ResumeAck for a resuming user (both require the session key), plus a
+	// forged ReplDelta (requires K_r). None should ever be synthesizable
+	// while the secrecy invariants hold; generating the moves ensures a
+	// breach would be exploited rather than masked.
+	if s.Lead.Phase == LeadPromoted {
+		for _, nn := range nonces {
+			add(LabelResume, AgentLeader,
+				symbolic.Enc(symbolic.Tuple(sys.a, sys.l, s.Lead.N, nn), s.Lead.Ka), "forged Resume")
+		}
+	}
+	if s.Usr.Phase == UserResuming {
+		for _, nn := range nonces {
+			for _, x := range data {
+				add(LabelResumeAck, AgentUser,
+					symbolic.Enc(symbolic.Tuple(sys.l, sys.a, s.Usr.Na, nn, x), s.Usr.Ka), "forged ResumeAck")
+			}
+		}
+	}
+	if sys.cfg.Failover && s.Lead.Phase != LeadNotConnected {
+		add(LabelReplDelta, AgentStandby,
+			symbolic.Enc(symbolic.Pair(s.Lead.N, s.Lead.Ka), sys.kr), "forged ReplDelta")
 	}
 	return steps
 }

@@ -38,6 +38,13 @@ const (
 	// Oops event: the content becomes public (Section 4, "oops" events).
 	LabelOops
 
+	// Failover extension (leader replication & hot failover): the sealed
+	// replication delta primary -> standby, and the session-resumption
+	// exchange member -> promoted standby.
+	LabelReplDelta
+	LabelResume
+	LabelResumeAck
+
 	// Legacy protocol (Section 2.2).
 	LabelReqOpen
 	LabelAckOpen
@@ -60,6 +67,9 @@ var labelNames = map[Label]string{
 	LabelAck:            "Ack",
 	LabelReqClose:       "ReqClose",
 	LabelOops:           "Oops",
+	LabelReplDelta:      "ReplDelta",
+	LabelResume:         "Resume",
+	LabelResumeAck:      "ResumeAck",
 	LabelReqOpen:        "ReqOpen",
 	LabelAckOpen:        "AckOpen",
 	LabelConnDenied:     "ConnDenied",
@@ -111,4 +121,8 @@ const (
 	AgentUser     = "A"
 	AgentLeader   = "L"
 	AgentIntruder = "E"
+	// AgentStandby is the standby leader S of the failover extension. Its
+	// replication key K_r (shared with the primary, never transmitted) is
+	// modeled as S's long-term key.
+	AgentStandby = "S"
 )

@@ -16,6 +16,9 @@ const (
 	UserNotConnected UserPhase = iota + 1
 	UserWaitingForKey
 	UserConnected
+	// UserResuming (failover extension): A detected the primary's death and
+	// sent Resume; it waits for the promoted standby's ResumeAck.
+	UserResuming
 )
 
 func (p UserPhase) String() string {
@@ -26,6 +29,8 @@ func (p UserPhase) String() string {
 		return "WaitingForKey"
 	case UserConnected:
 		return "Connected"
+	case UserResuming:
+		return "Resuming"
 	default:
 		return "invalid"
 	}
@@ -53,6 +58,8 @@ func (u UserState) String() string {
 		return fmt.Sprintf("WaitingForKey(%s)", u.Na)
 	case UserConnected:
 		return fmt.Sprintf("Connected(%s,%s)", u.Na, u.Ka)
+	case UserResuming:
+		return fmt.Sprintf("Resuming(%s,%s)", u.Na, u.Ka)
 	default:
 		return u.Phase.String()
 	}
@@ -68,6 +75,10 @@ const (
 	LeadWaitingForKeyAck
 	LeadConnected
 	LeadWaitingForAck
+	// LeadPromoted (failover extension): the primary crashed and the standby
+	// took over A's session from the replicated state; it waits for A's
+	// Resume before serving the session again.
+	LeadPromoted
 )
 
 func (p LeaderPhase) String() string {
@@ -80,6 +91,8 @@ func (p LeaderPhase) String() string {
 		return "Connected"
 	case LeadWaitingForAck:
 		return "WaitingForAck"
+	case LeadPromoted:
+		return "Promoted"
 	default:
 		return "invalid"
 	}
@@ -111,6 +124,8 @@ func (l LeaderState) String() string {
 		return fmt.Sprintf("Connected(%s,%s)", l.N, l.Ka)
 	case LeadWaitingForAck:
 		return fmt.Sprintf("WaitingForAck(%s,%s)", l.N, l.Ka)
+	case LeadPromoted:
+		return fmt.Sprintf("Promoted(%s,%s)", l.N, l.Ka)
 	default:
 		return l.Phase.String()
 	}
@@ -149,6 +164,23 @@ type Config struct {
 	// full Section 3.1 threat — the attacker as a PARTICIPANT, not just an
 	// eavesdropper — and the Section 5 properties about A must survive it.
 	IntruderSessions bool
+
+	// Failover enables the leader-replication extension: the primary may
+	// crash from Connected, emitting a sealed ReplDelta and handing A's
+	// session to the promoted standby (LeadPromoted); A may then resume the
+	// session with a Resume/ResumeAck exchange instead of a fresh join.
+	Failover bool
+	// MaxFailovers bounds how many crash+promote events may occur; 0 means
+	// 1 when Failover is set.
+	MaxFailovers int
+
+	// WeakResumeFreshness deliberately REMOVES the resuming user's check
+	// that the ResumeAck echoes the fresh nonce sent in Resume. A replayed
+	// pre-failover AdminMsg (same content shape under the same K_a) is then
+	// re-accepted, violating the 5.4a prefix property — the failover
+	// counterpart of WeakAdminFreshness, for the checker's sensitivity
+	// tests.
+	WeakResumeFreshness bool
 
 	// WeakAdminFreshness deliberately REMOVES the member-nonce freshness
 	// check on AdminMsg reception — the user accepts any admin message
@@ -215,6 +247,13 @@ type State struct {
 	// forever.
 	EEngagements int
 
+	// Failovers counts crash+promote events (failover extension);
+	// ResumesStarted counts Resume exchanges A has begun. A resume is only
+	// enabled after a crash (ResumesStarted < Failovers), which both models
+	// the silence detection that triggers resumption and bounds the space.
+	Failovers      int
+	ResumesStarted int
+
 	// NonceCtr and KeyCtr allocate fresh honest nonces and session keys
 	// for A's sessions. E-session values come from a disjoint range (see
 	// ENonceCtr) so that interleaving A- and E-activity does not permute
@@ -264,16 +303,19 @@ func NewInitialState() *State {
 // Clone returns a deep copy suitable for deriving a successor state.
 func (s *State) Clone() *State {
 	c := &State{
-		Usr:          s.Usr,
-		Lead:         s.Lead,
-		Net:          make(map[string]Msg, len(s.Net)+1),
-		IK:           s.IK.Clone(),
-		SndA:         append([]*symbolic.Field(nil), s.SndA...),
-		RcvA:         append([]*symbolic.Field(nil), s.RcvA...),
-		ReqA:         s.ReqA,
-		AccL:         s.AccL,
-		Sessions:     s.Sessions,
-		AdminSent:    s.AdminSent,
+		Usr:            s.Usr,
+		Lead:           s.Lead,
+		Net:            make(map[string]Msg, len(s.Net)+1),
+		IK:             s.IK.Clone(),
+		SndA:           append([]*symbolic.Field(nil), s.SndA...),
+		RcvA:           append([]*symbolic.Field(nil), s.RcvA...),
+		ReqA:           s.ReqA,
+		AccL:           s.AccL,
+		Sessions:       s.Sessions,
+		AdminSent:      s.AdminSent,
+		Failovers:      s.Failovers,
+		ResumesStarted: s.ResumesStarted,
+
 		LeadE:        s.LeadE,
 		ESessions:    s.ESessions,
 		AdminSentE:   s.AdminSentE,
@@ -387,6 +429,7 @@ func (s *State) Key() string {
 		b.WriteByte(';')
 	}
 	fmt.Fprintf(&b, "#%d/%d/%d/%d/%d/%d", s.ReqA, s.AccL, s.Sessions, s.AdminSent, s.NonceCtr, s.KeyCtr)
+	fmt.Fprintf(&b, "#%d/%d", s.Failovers, s.ResumesStarted)
 	fmt.Fprintf(&b, "#%s/%d/%d/%d/%d/%d", s.LeadE.key(), s.ESessions, s.AdminSentE, s.EEngagements, s.ENonceCtr, s.EKeyCtr)
 	return b.String()
 }

@@ -1,0 +1,335 @@
+// Package replica implements the leader-replication channel of the hot
+// failover design: a primary leader streams its membership, epoch, group
+// key and audit state to one standby in real time, sealed under a
+// pre-shared replication key K_r with chained nonces for freshness — the
+// same chaining discipline as the verified AdminMsg pipeline, so a
+// replayed, reordered or dropped delta breaks the chain and forces the
+// standby to re-subscribe for a fresh snapshot.
+//
+// The package is deliberately below internal/group in the dependency
+// order: group attaches a Sender to its serve loop and feeds it deltas;
+// the standby process runs a Standby until the primary is declared dead,
+// then hands the replicated State to group's promotion path.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"enclaves/internal/core"
+	"enclaves/internal/crypto"
+	"enclaves/internal/metrics"
+	"enclaves/internal/queue"
+	"enclaves/internal/transport"
+	"enclaves/internal/wire"
+)
+
+var (
+	mDeltasSent   = metrics.NewCounter("replica_deltas_sent_total")
+	mDeltasRecv   = metrics.NewCounter("replica_deltas_recv_total")
+	mSnapshots    = metrics.NewCounter("replica_snapshots_total")
+	mChainBreaks  = metrics.NewCounter("replica_chain_breaks_total")
+	mSubDrops     = metrics.NewCounter("replica_subscriber_drops_total")
+	mHellosBad    = metrics.NewCounter("replica_bad_hellos_total")
+	mPrimaryDead  = metrics.NewCounter("replica_primary_dead_total")
+	mResubscribes = metrics.NewCounter("replica_resubscribes_total")
+)
+
+// ErrBadHello is returned for a subscription request that fails
+// authentication or names the wrong primary.
+var ErrBadHello = errors.New("replica: bad subscription hello")
+
+// Session is one member's replicated session state — everything the
+// promoted standby needs to resume the session without a password
+// re-handshake (see core.SessionState).
+type Session struct {
+	SessionKey crypto.Key
+	Nonce      crypto.Nonce // the member's latest chained nonce
+	Seq        uint64       // AdminMsg pipeline sequence
+}
+
+// State is the standby's replica of the primary's group state.
+type State struct {
+	Primary  string
+	Epoch    uint64
+	GroupKey crypto.Key
+	AuditSeq uint64 // primary's audit-trace high-water mark
+	Members  map[string]Session
+}
+
+// Clone deep-copies the state.
+func (st State) Clone() State {
+	out := st
+	out.Members = make(map[string]Session, len(st.Members))
+	for u, s := range st.Members {
+		out.Members[u] = s
+	}
+	return out
+}
+
+// Delta is one replicated state change, the in-process form of
+// wire.ReplDeltaPayload (the chain nonces are added at sealing time).
+type Delta struct {
+	Kind     wire.ReplDeltaKind
+	AuditSeq uint64
+
+	User     string
+	Session  crypto.Key
+	Nonce    crypto.Nonce
+	Seq      uint64
+	Epoch    uint64
+	GroupKey crypto.Key
+}
+
+// Apply folds the delta into the state.
+func (st *State) Apply(d Delta) {
+	if d.AuditSeq > st.AuditSeq {
+		st.AuditSeq = d.AuditSeq
+	}
+	switch d.Kind {
+	case wire.ReplMemberUp:
+		st.Members[d.User] = Session{SessionKey: d.Session, Nonce: d.Nonce, Seq: d.Seq}
+	case wire.ReplMemberDown:
+		delete(st.Members, d.User)
+	case wire.ReplRekey:
+		st.Epoch = d.Epoch
+		st.GroupKey = d.GroupKey
+	case wire.ReplSessionSync:
+		if s, ok := st.Members[d.User]; ok {
+			s.Nonce = d.Nonce
+			s.Seq = d.Seq
+			st.Members[d.User] = s
+		}
+	case wire.ReplPing:
+		// Chain advance only.
+	}
+}
+
+// SessionState converts a replicated member session into the engine-level
+// resume state.
+func (st State) SessionState(user string) (core.SessionState, bool) {
+	s, ok := st.Members[user]
+	if !ok {
+		return core.SessionState{}, false
+	}
+	return core.SessionState{
+		User:       user,
+		Leader:     st.Primary,
+		SessionKey: s.SessionKey,
+		Nonce:      s.Nonce,
+		Seq:        s.Seq,
+	}, true
+}
+
+// --- primary side ---
+
+// item is one unit of the sender's outbound queue: a snapshot (queued at
+// attach time, so it precedes every later delta) or a delta.
+type item struct {
+	snap  *State
+	delta Delta
+}
+
+// subscriber is the attached standby.
+type subscriber struct {
+	standby string
+	conn    transport.Conn
+	q       *queue.Queue[item]
+	done    chan struct{}
+}
+
+// Sender is the primary-side replication endpoint: it authenticates the
+// standby's subscription, then streams the snapshot and every subsequent
+// delta over the sealed, nonce-chained channel. One subscriber at a time; a
+// new subscription replaces the previous one. Publishing never blocks: the
+// queue is bounded, and an overflowing (stalled) subscriber is dropped, so
+// a dead standby cannot stall the primary — the standby re-subscribes and
+// gets a fresh snapshot.
+type Sender struct {
+	primary string
+	cipher  *crypto.Cipher // cached AEAD under K_r
+	limit   int
+
+	mu  sync.Mutex
+	sub *subscriber
+}
+
+// DefaultQueueLimit bounds the subscriber's outbound delta queue.
+const DefaultQueueLimit = 4096
+
+// NewSender returns a replication sender for the named primary, sealing
+// under the pre-shared replication key.
+func NewSender(primary string, key crypto.Key) (*Sender, error) {
+	if primary == "" {
+		return nil, fmt.Errorf("replica: primary name must be non-empty")
+	}
+	c, err := crypto.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("replica: %w", err)
+	}
+	return &Sender{primary: primary, cipher: c, limit: DefaultQueueLimit}, nil
+}
+
+// HandleHello authenticates a standby's subscription request (the first
+// frame of a replication connection). It returns the standby's name and
+// chain nonce N0 for Attach.
+func (s *Sender) HandleHello(env wire.Envelope) (string, crypto.Nonce, error) {
+	if env.Type != wire.TypeReplState {
+		mHellosBad.Inc()
+		return "", crypto.Nonce{}, fmt.Errorf("%w: got %s", ErrBadHello, env.Type)
+	}
+	plain, err := s.cipher.Open(env.Payload, env.Header())
+	if err != nil {
+		mHellosBad.Inc()
+		return "", crypto.Nonce{}, fmt.Errorf("%w: %v", ErrBadHello, err)
+	}
+	p, err := wire.UnmarshalReplState(plain)
+	if err != nil {
+		mHellosBad.Inc()
+		return "", crypto.Nonce{}, fmt.Errorf("%w: %v", ErrBadHello, err)
+	}
+	if !p.Hello || p.Primary != s.primary || p.Standby == "" {
+		mHellosBad.Inc()
+		return "", crypto.Nonce{}, fmt.Errorf("%w: hello=%v primary=%q", ErrBadHello, p.Hello, p.Primary)
+	}
+	return p.Standby, p.Next, nil
+}
+
+// Attach installs the subscriber and queues its snapshot. The caller builds
+// the snapshot and calls Attach inside the same critical section that
+// serializes its delta emissions, so the snapshot linearizes correctly
+// against subsequent Publish calls; Attach itself only enqueues — sealing
+// and sending happen on the subscriber's writer goroutine.
+func (s *Sender) Attach(conn transport.Conn, standby string, n0 crypto.Nonce, snap State) {
+	sub := &subscriber{
+		standby: standby,
+		conn:    conn,
+		q:       queue.NewBounded[item](s.limit),
+		done:    make(chan struct{}),
+	}
+	snap.Primary = s.primary
+	_ = sub.q.Push(item{snap: &snap})
+	s.mu.Lock()
+	old := s.sub
+	s.sub = sub
+	s.mu.Unlock()
+	if old != nil {
+		s.drop(old, "replaced by new subscription")
+	}
+	go s.writer(sub, n0)
+}
+
+// Publish enqueues one delta for the subscriber, if any. On overflow the
+// subscriber is dropped (it will re-subscribe for a fresh snapshot).
+func (s *Sender) Publish(d Delta) {
+	s.mu.Lock()
+	sub := s.sub
+	s.mu.Unlock()
+	if sub == nil {
+		return
+	}
+	if err := sub.q.Push(item{delta: d}); errors.Is(err, queue.ErrFull) {
+		mSubDrops.Inc()
+		s.detach(sub)
+		s.drop(sub, "queue overflow")
+	}
+}
+
+// Detach drops the current subscriber, if any (leader shutdown).
+func (s *Sender) Detach() {
+	s.mu.Lock()
+	sub := s.sub
+	s.sub = nil
+	s.mu.Unlock()
+	if sub != nil {
+		s.drop(sub, "sender detached")
+	}
+}
+
+// detach clears sub if it is still the current subscriber.
+func (s *Sender) detach(sub *subscriber) {
+	s.mu.Lock()
+	if s.sub == sub {
+		s.sub = nil
+	}
+	s.mu.Unlock()
+}
+
+func (s *Sender) drop(sub *subscriber, reason string) {
+	_ = reason
+	sub.q.Close()
+	_ = sub.conn.Close()
+}
+
+// writer drains the subscriber's queue, sealing each item with the next
+// link of the nonce chain and writing it to the connection — entirely
+// outside the caller's locks.
+func (s *Sender) writer(sub *subscriber, n0 crypto.Nonce) {
+	last := n0
+	for {
+		it, err := sub.q.Pop()
+		if err != nil {
+			return
+		}
+		next, err := crypto.NewNonce()
+		if err != nil {
+			s.detach(sub)
+			s.drop(sub, "nonce generation failed")
+			return
+		}
+		var env wire.Envelope
+		var plain []byte
+		if it.snap != nil {
+			env = wire.Envelope{Type: wire.TypeReplState, Sender: s.primary, Receiver: sub.standby}
+			p := wire.ReplStatePayload{
+				Standby:  sub.standby,
+				Primary:  s.primary,
+				Echo:     last,
+				Next:     next,
+				Epoch:    it.snap.Epoch,
+				GroupKey: it.snap.GroupKey,
+				AuditSeq: it.snap.AuditSeq,
+			}
+			for u, m := range it.snap.Members {
+				p.Members = append(p.Members, wire.ReplMember{
+					User: u, SessionKey: m.SessionKey, Nonce: m.Nonce, Seq: m.Seq,
+				})
+			}
+			plain = p.Marshal()
+			mSnapshots.Inc()
+		} else {
+			d := it.delta
+			env = wire.Envelope{Type: wire.TypeReplDelta, Sender: s.primary, Receiver: sub.standby}
+			p := wire.ReplDeltaPayload{
+				Primary:  s.primary,
+				Standby:  sub.standby,
+				Echo:     last,
+				Next:     next,
+				Kind:     d.Kind,
+				AuditSeq: d.AuditSeq,
+				User:     d.User,
+				Session:  d.Session,
+				Nonce:    d.Nonce,
+				Seq:      d.Seq,
+				Epoch:    d.Epoch,
+				GroupKey: d.GroupKey,
+			}
+			plain = p.Marshal()
+		}
+		box, err := s.cipher.Seal(plain, env.Header())
+		if err != nil {
+			s.detach(sub)
+			s.drop(sub, "seal failed")
+			return
+		}
+		env.Payload = box
+		if err := sub.conn.Send(env); err != nil {
+			s.detach(sub)
+			s.drop(sub, "send failed")
+			return
+		}
+		mDeltasSent.Inc()
+		last = next
+	}
+}

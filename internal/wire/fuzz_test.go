@@ -32,6 +32,10 @@ func fuzzSeeds(f *F) []Envelope {
 		{Type: TypeCloseConn, Sender: "leader", Receiver: "bob"},
 		{Type: TypeMemRemoved, Sender: "leader", Receiver: "alice", Payload: []byte("bob")},
 		{Type: TypeMemAdded, Sender: "leader", Receiver: "alice", Payload: []byte("carol")},
+		{Type: TypeReplState, Sender: "standby", Receiver: "leader", Payload: bytes.Repeat([]byte{0x77}, 48)},
+		{Type: TypeReplDelta, Sender: "leader", Receiver: "standby", Payload: []byte{0x03, 0x00}},
+		{Type: TypeResume, Sender: "alice", Receiver: "leader", Payload: bytes.Repeat([]byte{0x5A}, 32)},
+		{Type: TypeResumeAck, Sender: "leader", Receiver: "alice"},
 	}
 	return seeds
 }

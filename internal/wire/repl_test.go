@@ -1,0 +1,211 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"enclaves/internal/crypto"
+)
+
+func TestReplStateHelloRoundTrip(t *testing.T) {
+	in := ReplStatePayload{Hello: true, Standby: "standby", Primary: "leader", Next: mustNonce(t)}
+	out, err := UnmarshalReplState(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Hello || out.Standby != in.Standby || out.Primary != in.Primary || !out.Next.Equal(in.Next) {
+		t.Fatalf("round trip changed hello: %+v != %+v", out, in)
+	}
+	if len(out.Members) != 0 || out.Epoch != 0 || out.GroupKey.Valid() {
+		t.Fatalf("hello carries snapshot fields: %+v", out)
+	}
+}
+
+func TestReplStateSnapshotRoundTrip(t *testing.T) {
+	in := ReplStatePayload{
+		Standby:  "standby",
+		Primary:  "leader",
+		Echo:     mustNonce(t),
+		Next:     mustNonce(t),
+		Epoch:    42,
+		GroupKey: mustKey(t),
+		AuditSeq: 1009,
+		Members: []ReplMember{
+			{User: "alice", SessionKey: mustKey(t), Nonce: mustNonce(t), Seq: 7},
+			{User: "bob", SessionKey: mustKey(t), Nonce: mustNonce(t), Seq: 0},
+			{User: "", SessionKey: mustKey(t)},
+		},
+	}
+	out, err := UnmarshalReplState(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Hello || out.Standby != in.Standby || out.Primary != in.Primary ||
+		!out.Echo.Equal(in.Echo) || !out.Next.Equal(in.Next) ||
+		out.Epoch != in.Epoch || !out.GroupKey.Equal(in.GroupKey) || out.AuditSeq != in.AuditSeq {
+		t.Fatalf("round trip changed snapshot: %+v != %+v", out, in)
+	}
+	if len(out.Members) != len(in.Members) {
+		t.Fatalf("member count: %d != %d", len(out.Members), len(in.Members))
+	}
+	for i, m := range out.Members {
+		w := in.Members[i]
+		if m.User != w.User || !m.SessionKey.Equal(w.SessionKey) || !m.Nonce.Equal(w.Nonce) || m.Seq != w.Seq {
+			t.Fatalf("member %d changed: %+v != %+v", i, m, w)
+		}
+	}
+}
+
+func TestReplStateEmptySnapshotRoundTrip(t *testing.T) {
+	in := ReplStatePayload{Standby: "s", Primary: "p", Next: mustNonce(t), GroupKey: mustKey(t)}
+	out, err := UnmarshalReplState(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Hello || len(out.Members) != 0 || !out.GroupKey.Equal(in.GroupKey) {
+		t.Fatalf("round trip changed empty snapshot: %+v", out)
+	}
+}
+
+func TestReplStateRejectsMemberBound(t *testing.T) {
+	// Hand-build a snapshot header declaring an absurd member count: it must
+	// be rejected on the declared count, before any allocation.
+	var b builder
+	b.putUint8(0)
+	b.putString("s")
+	b.putString("p")
+	b.bytes = append(b.bytes, make([]byte, 2*crypto.NonceSize)...)
+	b.putUint64(1) // epoch
+	b.bytes = append(b.bytes, mustKey(t).Bytes()...)
+	b.putUint64(0)                  // audit seq
+	b.putUint64(MaxReplMembers + 1) // member count over the bound
+	if _, err := UnmarshalReplState(b.bytes); err == nil {
+		t.Fatal("snapshot over MaxReplMembers accepted")
+	} else if !strings.Contains(err.Error(), "members") {
+		t.Fatalf("wrong rejection: %v", err)
+	}
+}
+
+func replDeltaCases(t *testing.T) []ReplDeltaPayload {
+	t.Helper()
+	base := ReplDeltaPayload{Primary: "leader", Standby: "standby", Echo: mustNonce(t), Next: mustNonce(t), AuditSeq: 33}
+	up := base
+	up.Kind = ReplMemberUp
+	up.User = "alice"
+	up.Session = mustKey(t)
+	up.Nonce = mustNonce(t)
+	up.Seq = 12
+	down := base
+	down.Kind = ReplMemberDown
+	down.User = "bob"
+	rekey := base
+	rekey.Kind = ReplRekey
+	rekey.Epoch = 9
+	rekey.GroupKey = mustKey(t)
+	sync := base
+	sync.Kind = ReplSessionSync
+	sync.User = "carol"
+	sync.Nonce = mustNonce(t)
+	sync.Seq = 99
+	ping := base
+	ping.Kind = ReplPing
+	return []ReplDeltaPayload{up, down, rekey, sync, ping}
+}
+
+func TestReplDeltaRoundTrip(t *testing.T) {
+	for _, in := range replDeltaCases(t) {
+		out, err := UnmarshalReplDelta(in.Marshal())
+		if err != nil {
+			t.Fatalf("%v: %v", in.Kind, err)
+		}
+		if out.Primary != in.Primary || out.Standby != in.Standby ||
+			!out.Echo.Equal(in.Echo) || !out.Next.Equal(in.Next) ||
+			out.Kind != in.Kind || out.AuditSeq != in.AuditSeq ||
+			out.User != in.User || !out.Session.Equal(in.Session) ||
+			!out.Nonce.Equal(in.Nonce) || out.Seq != in.Seq ||
+			out.Epoch != in.Epoch || !out.GroupKey.Equal(in.GroupKey) {
+			t.Fatalf("%v round trip changed delta:\n got %+v\nwant %+v", in.Kind, out, in)
+		}
+	}
+}
+
+func TestReplDeltaRejectsUnknownKind(t *testing.T) {
+	var b builder
+	b.putString("p")
+	b.putString("s")
+	b.bytes = append(b.bytes, make([]byte, 2*crypto.NonceSize)...)
+	b.putUint8(0) // kind 0 is below every defined ReplDeltaKind
+	b.putUint64(0)
+	if _, err := UnmarshalReplDelta(b.bytes); err == nil {
+		t.Fatal("delta with kind 0 accepted")
+	}
+	b.bytes[len(b.bytes)-9] = uint8(ReplPing) + 1 // one past the last kind
+	if _, err := UnmarshalReplDelta(b.bytes); err == nil {
+		t.Fatal("delta with out-of-range kind accepted")
+	}
+}
+
+func TestReplPayloadsRejectGarbageAndTrailing(t *testing.T) {
+	garbage := [][]byte{nil, {}, {0xFF}, {0x01, 0x02, 0x03}, make([]byte, 7)}
+	for _, g := range garbage {
+		if _, err := UnmarshalReplState(g); err == nil {
+			t.Errorf("ReplState accepted %x", g)
+		}
+		if _, err := UnmarshalReplDelta(g); err == nil {
+			t.Errorf("ReplDelta accepted %x", g)
+		}
+	}
+	hello := ReplStatePayload{Hello: true, Standby: "s", Primary: "p", Next: mustNonce(t)}
+	if _, err := UnmarshalReplState(append(hello.Marshal(), 0)); err == nil {
+		t.Error("ReplState hello accepted trailing byte")
+	}
+	snap := ReplStatePayload{Standby: "s", Primary: "p", Next: mustNonce(t), GroupKey: mustKey(t)}
+	if _, err := UnmarshalReplState(append(snap.Marshal(), 0)); err == nil {
+		t.Error("ReplState snapshot accepted trailing byte")
+	}
+	for _, d := range replDeltaCases(t) {
+		if _, err := UnmarshalReplDelta(append(d.Marshal(), 0)); err == nil {
+			t.Errorf("ReplDelta %v accepted trailing byte", d.Kind)
+		}
+	}
+}
+
+func TestReplDeltaKindString(t *testing.T) {
+	for _, k := range []ReplDeltaKind{ReplMemberUp, ReplMemberDown, ReplRekey, ReplSessionSync, ReplPing} {
+		if strings.Contains(k.String(), "ReplDeltaKind(") {
+			t.Errorf("kind %d has no name", uint8(k))
+		}
+	}
+	if !strings.Contains(ReplDeltaKind(77).String(), "77") {
+		t.Error("unknown kind must render its number")
+	}
+}
+
+// FuzzReplPayloads: the replication unmarshalers must never panic, and any
+// payload they accept must re-marshal canonically.
+func FuzzReplPayloads(f *testing.F) {
+	seedState := []ReplStatePayload{
+		{Hello: true, Standby: "standby", Primary: "leader"},
+		{Standby: "s", Primary: "p", Epoch: 3, AuditSeq: 8,
+			Members: []ReplMember{{User: "alice", Seq: 1}}},
+	}
+	for _, p := range seedState {
+		f.Add(p.Marshal())
+	}
+	for _, k := range []ReplDeltaKind{ReplMemberUp, ReplMemberDown, ReplRekey, ReplSessionSync, ReplPing} {
+		p := ReplDeltaPayload{Primary: "p", Standby: "s", Kind: k, User: "alice", Seq: 4, Epoch: 2}
+		f.Add(p.Marshal())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if p, err := UnmarshalReplState(data); err == nil {
+			if got := p.Marshal(); string(got) != string(data) {
+				t.Fatalf("ReplState accepted non-canonical payload:\n in %x\nout %x", data, got)
+			}
+		}
+		if p, err := UnmarshalReplDelta(data); err == nil {
+			if got := p.Marshal(); string(got) != string(data) {
+				t.Fatalf("ReplDelta accepted non-canonical payload:\n in %x\nout %x", data, got)
+			}
+		}
+	})
+}

@@ -51,6 +51,15 @@ const (
 	TypeCloseConn
 	TypeMemRemoved
 	TypeMemAdded
+
+	// Leader replication and hot failover. ReplState/ReplDelta travel on the
+	// primary->standby replication channel sealed under the replication key;
+	// Resume/ResumeAck form the session-resumption sub-protocol members use
+	// to re-attach to a promoted standby under their existing session key.
+	TypeReplState
+	TypeReplDelta
+	TypeResume
+	TypeResumeAck
 )
 
 var typeNames = map[Type]string{
@@ -74,6 +83,10 @@ var typeNames = map[Type]string{
 	TypeCloseConn:      "CloseConn",
 	TypeMemRemoved:     "MemRemoved",
 	TypeMemAdded:       "MemAdded",
+	TypeReplState:      "ReplState",
+	TypeReplDelta:      "ReplDelta",
+	TypeResume:         "Resume",
+	TypeResumeAck:      "ResumeAck",
 }
 
 func (t Type) String() string {
