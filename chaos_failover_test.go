@@ -36,6 +36,14 @@ import (
 //   - the epoch is monotone across the crash (sampled continuously on the
 //     primary, then on its successor);
 //   - a post-failover multicast reaches every member of the reunited group.
+//
+// The primary's coalescing window is minutes long, so the kill is GUARANTEED
+// to land on an armed window: the first wave-1 join armed it and nothing ever
+// flushed it. The crash-absorbed trigger must be replicated (ReplRekeyPending)
+// and credited as coalesced by the promotion, or the ledger above can never
+// balance. The primary also rekeys through the logical key hierarchy, so the
+// promotion rebuilds the replicated key tree and resuming members get their
+// paths back inside the ResumeAck.
 func TestChaosFailoverUnderChurn(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test")
@@ -44,6 +52,9 @@ func TestChaosFailoverUnderChurn(t *testing.T) {
 		leaderName = "leader"
 		wave       = 8 // members per wave; wave 1 resumes, wave 2 full-joins
 		window     = 25 * time.Millisecond
+		// The primary's window: armed by the first join, still armed at the
+		// kill. Far past the test horizon, like the ack timeouts.
+		primaryWindow = 5 * time.Minute
 	)
 	names := make([]string, 2*wave)
 	keys := make(map[string]crypto.Key, len(names))
@@ -98,8 +109,9 @@ func TestChaosFailoverUnderChurn(t *testing.T) {
 	}
 	primary, err := group.NewLeader(group.Config{
 		Name: leaderName, Users: keys, Rekey: group.DefaultRekeyPolicy(),
-		RekeyCoalesce: window,
-		ReplKey:       kr, ReplPing: 20 * time.Millisecond,
+		RekeyCoalesce: primaryWindow,
+		LKH:           true, LKHArity: 2,
+		ReplKey: kr, ReplPing: 20 * time.Millisecond,
 		Liveness: liveness,
 		OnEvent: func(e group.Event) {
 			primaryAudit.mu.Lock()
@@ -274,6 +286,16 @@ func TestChaosFailoverUnderChurn(t *testing.T) {
 	sb.Stop()
 	if len(st.Members) != wave {
 		t.Fatalf("replica at promotion holds %d members, want %d", len(st.Members), wave)
+	}
+	// The armed coalescing window crossed the crash: the primary never
+	// flushed it (the window is minutes long), so the replica must carry the
+	// pending flag for the promotion to credit. And the key tree came along:
+	// at least a leaf per replicated member.
+	if !st.RekeyPending {
+		t.Fatal("replica did not carry the primary's armed coalescing window")
+	}
+	if len(st.Tree) < wave {
+		t.Fatalf("replica carried %d key-tree nodes, want >= %d", len(st.Tree), wave)
 	}
 
 	promoted, err := group.Promote(group.Config{

@@ -95,6 +95,8 @@ func run(args []string) error {
 		ackWait     = fs.Duration("ack-timeout", 10*time.Second, "expel a member whose admin ack is overdue by this much (0 disables)")
 		outbox      = fs.Int("outbox", 1024, "per-member outbound queue bound; overflow expels the member (<0 = unbounded)")
 		coalesce    = fs.Duration("rekey-coalesce", 0, "fold join/leave rekey bursts into one rotation per window (0 = rotate immediately)")
+		lkhOn       = fs.Bool("lkh", false, "rekey through a logical key hierarchy: O(log n) re-seals per rotation instead of O(n)")
+		lkhArity    = fs.Int("lkh-arity", 0, "LKH key-tree branching factor (0 = default)")
 		fanWorkers  = fs.Int("fanout-workers", 0, "broadcast fan-out worker pool size (0 = GOMAXPROCS-derived, <0 = sequential)")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics (JSON snapshot) and /debug/pprof on this address (empty disables collection)")
 		verbose     = fs.Bool("v", false, "verbose logging")
@@ -152,6 +154,8 @@ func run(args []string) error {
 		OutboxLimit:   *outbox,
 		RekeyCoalesce: *coalesce,
 		FanoutWorkers: *fanWorkers,
+		LKH:           *lkhOn,
+		LKHArity:      *lkhArity,
 	}
 
 	var leader *group.Leader

@@ -38,6 +38,7 @@ func run(args []string, out io.Writer) error {
 		fsm      = fs.Bool("fsm", false, "also print the state machines of Figures 2 and 3")
 		asJSON   = fs.Bool("json", false, "emit the report as JSON instead of text")
 		eMember  = fs.Bool("intruder-sessions", false, "let the leader also serve the compromised member E (larger space)")
+		lkh      = fs.Bool("lkh", false, "enable the LKH key-tree extension (adds the 5.6 forward-secrecy obligation; skips the Figure 4 diagram)")
 		dot      = fs.Bool("dot", false, "emit only the Figure 4 diagram in Graphviz DOT format")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -49,10 +50,13 @@ func run(args []string, out io.Writer) error {
 	}
 
 	rep := checker.Run(
-		model.Config{MaxSessions: *sessions, MaxAdmin: *admin, IntruderSessions: *eMember},
+		model.Config{MaxSessions: *sessions, MaxAdmin: *admin, IntruderSessions: *eMember, LKH: *lkh},
 		model.LegacyConfig{MaxRekeys: *rekeys},
 	)
 	if *dot {
+		if rep.Diagram == nil {
+			return fmt.Errorf("no diagram: the Figure 4 abstraction only covers the base configuration (drop -lkh)")
+		}
 		fmt.Fprint(out, rep.Diagram.DOT())
 		if !rep.AllHold() {
 			return fmt.Errorf("verification FAILED")

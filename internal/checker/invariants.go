@@ -109,6 +109,44 @@ func CheckSecrecyRepl(ex *Exploration) Obligation {
 		fmt.Sprintf("%d states", len(ex.Nodes)))
 }
 
+// CheckSecrecyTreeKey verifies the LKH extension's forward-secrecy
+// obligation (5.6): the subtree key K_s behaves like P_a and K_r (never in
+// the trace, never known to the intruder), and the CURRENT tree key TK —
+// whenever one is live and not yet released by its own Oops — stays outside
+// the intruder's knowledge. A departed member is folded into the intruder
+// by the Oops(TK) its departure triggers, so this is precisely forward
+// secrecy: departure must not reveal any post-rotation tree key. With
+// Config.LKH off no tree key ever exists and the obligation passes
+// vacuously over the K_s checks alone.
+func CheckSecrecyTreeKey(ex *Exploration) Obligation {
+	ks := ex.System.SubtreeKey()
+	live := 0
+	for _, n := range ex.Nodes {
+		s := n.State
+		if s.TraceParts().Contains(ks) {
+			return fail("5.6", "forward secrecy of the LKH tree key TK",
+				fmt.Sprintf("K_s occurs in Parts(trace) at %s", s), n)
+		}
+		if s.IK.Contains(ks) {
+			return fail("5.6", "forward secrecy of the LKH tree key TK",
+				fmt.Sprintf("intruder knows K_s at %s", s), n)
+		}
+		if s.TK == nil || s.Oopsed.Contains(s.TK) {
+			continue
+		}
+		live++
+		if s.IK.Contains(s.TK) {
+			return fail("5.6", "forward secrecy of the LKH tree key TK",
+				fmt.Sprintf("intruder knows the current tree key %s at %s", s.TK, s), n)
+		}
+	}
+	detail := fmt.Sprintf("%d states with a live TK", live)
+	if !ex.System.Config().LKH {
+		detail = "vacuous: LKH disabled"
+	}
+	return pass("5.6", "forward secrecy of the LKH tree key TK", detail)
+}
+
 // CheckOopsedKeysArePublic is the sanity complement of 5.2: once a session
 // is closed the Oops event really does publish the old key, so the
 // verification is not vacuous — the intruder genuinely holds old session
@@ -218,13 +256,16 @@ func CheckKeyPossession(ex *Exploration) Obligation {
 		fmt.Sprintf("%d states with A connected", held))
 }
 
-// AllInvariants runs every Section 5.1/5.2/5.4 obligation over ex.
+// AllInvariants runs every Section 5.1/5.2/5.4 obligation over ex, plus the
+// extension obligations 5.5 (replication-key secrecy) and 5.6 (LKH tree-key
+// forward secrecy), which pass vacuously when their extension is disabled.
 func AllInvariants(ex *Exploration) []Obligation {
 	return []Obligation{
 		CheckRegularity(ex),
 		CheckSecrecyLongTerm(ex),
 		CheckSecrecySession(ex),
 		CheckSecrecyRepl(ex),
+		CheckSecrecyTreeKey(ex),
 		CheckOopsedKeysArePublic(ex),
 		CheckPrefixDelivery(ex),
 		CheckAuthentication(ex),

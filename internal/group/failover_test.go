@@ -8,10 +8,12 @@ import (
 
 	"enclaves/internal/crypto"
 	"enclaves/internal/faultnet"
+	"enclaves/internal/lkh"
 	"enclaves/internal/member"
 	"enclaves/internal/metrics"
 	"enclaves/internal/replica"
 	"enclaves/internal/transport"
+	"enclaves/internal/wire"
 )
 
 // newReplKey makes a replication key for tests.
@@ -477,4 +479,100 @@ func TestResumeIsOneShot(t *testing.T) {
 		t.Fatal("stale resume state produced a second session")
 	}
 	c2.Close()
+}
+
+// TestPromoteDropsUnknownUserWithAudit: a replicated session for a user the
+// standby is not configured to serve is refused at promotion — and the
+// refusal must be VISIBLE: an EventLeft with a diagnostic detail lands in
+// the audit stream (so resumes + fresh joins reconcile against the
+// pre-crash membership), the user's leaf leaves the promoted key tree, and
+// the replicated armed coalescing window is credited as coalesced.
+func TestPromoteDropsUnknownUserWithAudit(t *testing.T) {
+	prev := metrics.Enabled()
+	metrics.Enable()
+	defer func() {
+		if !prev {
+			metrics.Disable()
+		}
+	}()
+
+	tree, err := lkh.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"alice", "mallory"} {
+		if err := tree.Join(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tree.RotateDirty(); err != nil {
+		t.Fatal(err)
+	}
+	st := replica.State{
+		Primary: leaderName, Epoch: 3, GroupKey: tree.RootKey(), AuditSeq: 7,
+		Members: map[string]replica.Session{
+			"alice":   {SessionKey: newReplKey(t)},
+			"mallory": {SessionKey: newReplKey(t)},
+		},
+		LKHArity:     2,
+		Tree:         make(map[uint64]wire.ReplLKHNode),
+		RekeyPending: true,
+	}
+	for _, r := range tree.Records() {
+		st.Tree[uint64(r.ID)] = toReplNode(r)
+	}
+
+	coalescedBefore := counterVal(t, "group_rekeys_coalesced_total")
+	var audit struct {
+		mu     sync.Mutex
+		events []Event
+	}
+	promoted, err := Promote(Config{
+		Users: map[string]crypto.Key{"alice": newReplKey(t)},
+		OnEvent: func(e Event) {
+			audit.mu.Lock()
+			audit.events = append(audit.events, e)
+			audit.mu.Unlock()
+		},
+	}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promoted.Close()
+
+	if n := promoted.ResumableSessions(); n != 1 {
+		t.Errorf("resumable sessions = %d, want 1 (mallory dropped)", n)
+	}
+	// The auditor delivers on its own goroutine; poll for the drop event.
+	droppedEvent := func() (Event, bool) {
+		audit.mu.Lock()
+		defer audit.mu.Unlock()
+		for _, e := range audit.events {
+			if e.Kind == EventLeft && e.User == "mallory" {
+				return e, true
+			}
+		}
+		return Event{}, false
+	}
+	waitFor(t, "EventLeft for the dropped session", func() bool {
+		_, ok := droppedEvent()
+		return ok
+	})
+	if e, _ := droppedEvent(); e.Detail != "not resumable on standby" {
+		t.Errorf("drop detail = %q, want %q", e.Detail, "not resumable on standby")
+	}
+
+	promoted.mu.Lock()
+	members := promoted.tree.Members()
+	promoted.mu.Unlock()
+	if len(members) != 1 || members[0] != "alice" {
+		t.Errorf("promoted tree members = %v, want [alice]", members)
+	}
+	if e := promoted.Epoch(); e != st.Epoch+1 {
+		t.Errorf("promoted epoch = %d, want %d (one forced rotation)", e, st.Epoch+1)
+	}
+	// The crash-absorbed coalescing trigger was credited.
+	if d := counterVal(t, "group_rekeys_coalesced_total") - coalescedBefore; d != 1 {
+		t.Errorf("coalesced credit = %d, want 1 for the replicated armed window", d)
+	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"enclaves/internal/core"
 	"enclaves/internal/crypto"
+	"enclaves/internal/lkh"
 	"enclaves/internal/queue"
 	"enclaves/internal/replica"
 	"enclaves/internal/transport"
@@ -61,6 +62,18 @@ type Config struct {
 	// secrecy must not wait. See README "Scalability" for the security
 	// argument bounding what the window trades away.
 	RekeyCoalesce time.Duration
+	// LKH switches group-key distribution from the flat per-member
+	// NewGroupKey broadcast (n re-seals per rotation) to a logical key
+	// hierarchy (internal/lkh): members hold their leaf-to-root path keys,
+	// the root key is the group key, and a rotation re-seals only the
+	// ~log_k(n) keys on the affected path, one seal per child subtree,
+	// delivered as fire-and-forget KeyUpdate frames with PathKeys resync
+	// over the reliable pipeline. Off by default — the flat path remains
+	// the verified baseline.
+	LKH bool
+	// LKHArity is the key tree's branching factor k (lkh.DefaultArity when
+	// < 2). Only meaningful with LKH set.
+	LKHArity int
 	// FanoutWorkers sizes the pool that parallelizes broadcast fan-out
 	// across member outboxes. Zero selects the default (GOMAXPROCS capped
 	// at 16); 1 or negative disables the pool and keeps the sequential
@@ -127,12 +140,19 @@ type Leader struct {
 	// and sending happen on the sender's own writer goroutine.
 	repl *replica.Sender
 
+	// kuQ feeds the key-update publisher goroutine (see lkh.go); nil when
+	// LKH is disabled. Like repl, producers only enqueue.
+	kuQ *queue.Queue[kuJob]
+
 	mu       sync.Mutex
 	users    map[string]crypto.Key
 	groupKey crypto.Key
 	epoch    uint64
-	closed   bool
-	conns    map[transport.Conn]bool // every live connection, accepted or not
+	// tree is the logical key hierarchy; nil when Config.LKH is off. All
+	// access is under mu; its root key always equals groupKey.
+	tree   *lkh.Tree
+	closed bool
+	conns  map[transport.Conn]bool // every live connection, accepted or not
 	// resumable holds replicated sessions awaiting resumption after a
 	// promotion (Promote): user -> engine state. An entry is claimed by the
 	// first successful Resume; a member that never resumes simply rejoins
@@ -178,6 +198,9 @@ type memberConn struct {
 	// pacing heartbeats.
 	unacked   []unackedAdmin
 	lastAdmin time.Time
+	// syncedEpoch is the last epoch at which a KeySyncReq was answered,
+	// rate-limiting path-key resyncs to one per member per epoch.
+	syncedEpoch uint64
 }
 
 // outFrame is one element of a member's outbox: a shared pre-encoded
@@ -309,6 +332,17 @@ func NewLeader(cfg Config) (*Leader, error) {
 		groupKey:  kg,
 		epoch:     1,
 		stop:      make(chan struct{}),
+	}
+	if cfg.LKH {
+		tree, err := lkh.New(cfg.LKHArity)
+		if err != nil {
+			return nil, err
+		}
+		g.tree = tree
+		g.groupKey = tree.RootKey() // the root key IS the group key
+		g.kuQ = queue.NewBounded[kuJob](lkhQueueLimit)
+		g.wg.Add(1)
+		go g.keyUpdatePublisher()
 	}
 	if cfg.ReplKey.Valid() {
 		repl, err := replica.NewSender(cfg.Name, cfg.ReplKey)
@@ -445,6 +479,9 @@ func (g *Leader) Close() {
 	if g.repl != nil {
 		g.repl.Detach()
 	}
+	if g.kuQ != nil {
+		g.kuQ.Close() // ends the key-update publisher
+	}
 	g.wg.Wait()
 	// Every broadcast dispatcher (serveConn handlers, the liveness loop,
 	// the flush timer's closed check) has stopped by now, so the fan-out
@@ -475,6 +512,9 @@ func (g *Leader) rekeyLocked() error {
 			g.rekeyTimer = nil
 		}
 		mRekeysCoalesced.Inc()
+	}
+	if g.tree != nil {
+		return g.rekeyTreeLocked()
 	}
 	kg, err := crypto.NewKey()
 	if err != nil {
@@ -709,11 +749,20 @@ func (g *Leader) serveReplica(conn transport.Conn, first wire.Envelope) {
 // permitted Leader.mu -> memberConn.mu order).
 func (g *Leader) snapshotLocked() replica.State {
 	st := replica.State{
-		Primary:  g.name,
-		Epoch:    g.epoch,
-		GroupKey: g.groupKey,
-		AuditSeq: g.audit.current(),
-		Members:  make(map[string]replica.Session),
+		Primary:      g.name,
+		Epoch:        g.epoch,
+		GroupKey:     g.groupKey,
+		AuditSeq:     g.audit.current(),
+		Members:      make(map[string]replica.Session),
+		RekeyPending: g.rekeyPending,
+	}
+	if g.tree != nil {
+		st.LKHArity = g.tree.Arity()
+		recs := g.tree.Records()
+		st.Tree = make(map[uint64]wire.ReplLKHNode, len(recs))
+		for _, r := range recs {
+			st.Tree[uint64(r.ID)] = toReplNode(r)
+		}
 	}
 	for _, s := range g.reg.appendAll(nil, "") {
 		s.mu.Lock()
@@ -776,7 +825,25 @@ func (g *Leader) startResume(conn transport.Conn, first wire.Envelope) *memberCo
 		return reject("session already resumed")
 	}
 	delete(g.resumable, user)
-	body := wire.NewGroupKey{Epoch: g.epoch, Key: g.groupKey}
+	// The ResumeAck carries the member's current key material: under LKH
+	// its complete leaf-to-root path (creating a leaf if the replicated
+	// tree lacked one), the flat group key otherwise.
+	var body wire.AdminBody
+	bodyEpoch := g.epoch
+	if g.tree != nil {
+		if _, _, ok := g.tree.Leaf(user); !ok {
+			if err := g.tree.Join(user); err != nil {
+				g.logf("group: resume leaf for %s: %v", user, err)
+			}
+			g.replTreeLocked()
+		}
+		if pk, ok := g.pathKeysLocked(user); ok {
+			body = pk
+		}
+	}
+	if body == nil {
+		body = wire.NewGroupKey{Epoch: g.epoch, Key: g.groupKey}
+	}
 	g.mu.Unlock()
 
 	s := &memberConn{
@@ -815,8 +882,8 @@ func (g *Leader) startResume(conn transport.Conn, first wire.Envelope) *memberCo
 	// A rekey may have won the race between reading the ResumeAck body and
 	// registering; queue the current key so the member converges (ordered
 	// after the ResumeAck by the ack-gated pipeline).
-	if g.epoch != body.Epoch {
-		g.sendAdminLocked(s, wire.NewGroupKey{Epoch: g.epoch, Key: g.groupKey})
+	if g.epoch != bodyEpoch {
+		g.sendCurrentKeysLocked(s)
 	}
 	g.sendAdminLocked(s, wire.MemberList{Names: g.reg.names()})
 	s.mu.Lock()
@@ -842,6 +909,8 @@ func (g *Leader) readLoop(s *memberConn) {
 		switch env.Type {
 		case wire.TypeAppData:
 			g.relay(s, env)
+		case wire.TypeKeySyncReq:
+			g.handleKeySync(s)
 		default:
 			done := g.handleProtocol(s, env)
 			if done {
@@ -967,6 +1036,7 @@ func (g *Leader) acceptLocked(s *memberConn) {
 	g.logf("group: %s joined (members: %d)", s.user, g.reg.size())
 	mJoins.Inc()
 	g.audit.emit(Event{Kind: EventJoined, User: s.user, Epoch: g.epoch})
+	g.joinTreeLocked(s.user)
 	s.mu.Lock()
 	if es, ok := s.engine.ExportState(); ok {
 		g.replPublish(replica.Delta{
@@ -983,19 +1053,24 @@ func (g *Leader) acceptLocked(s *memberConn) {
 
 	switch {
 	case g.rekey.OnJoin && g.coalesce > 0:
-		// Coalescing: hand the joiner the current key so it can read group
-		// traffic immediately, then fold this join's rotation into the
-		// pending window with the rest of the burst.
-		g.sendAdminLocked(s, wire.NewGroupKey{Epoch: g.epoch, Key: g.groupKey})
+		// Coalescing: hand the joiner the current key material so it can
+		// read group traffic immediately, then fold this join's rotation
+		// into the pending window with the rest of the burst.
+		g.sendCurrentKeysLocked(s)
 		g.requestRekeyLocked()
 	case g.rekey.OnJoin:
-		// rekeyLocked broadcasts NewGroupKey to everyone including the
-		// new member.
+		// Flat: rekeyLocked broadcasts NewGroupKey to everyone including
+		// the new member. LKH: the rotation's KeyUpdate frames are sealed
+		// under subtree keys the joiner does not hold yet, so hand it the
+		// complete post-rotation path afterwards.
 		if err := g.rekeyLocked(); err != nil {
 			g.logf("group: rekey on join: %v", err)
 		}
+		if g.tree != nil {
+			g.sendCurrentKeysLocked(s)
+		}
 	default:
-		g.sendAdminLocked(s, wire.NewGroupKey{Epoch: g.epoch, Key: g.groupKey})
+		g.sendCurrentKeysLocked(s)
 	}
 	g.sendAdminLocked(s, wire.MemberList{Names: g.reg.names()})
 }
@@ -1007,6 +1082,10 @@ func (g *Leader) acceptLocked(s *memberConn) {
 // because the departed member is already out of the registry, so the
 // eventual NewGroupKey broadcast cannot reach it.
 func (g *Leader) departedLocked(user string, immediate bool) {
+	// Prune the departed member's leaf first: the pruning and the surviving
+	// path's dirtiness replicate ahead of any rotation, and the eventual
+	// RotateDirty retires every key the member held.
+	g.leaveTreeLocked(user)
 	g.replPublish(replica.Delta{Kind: wire.ReplMemberDown, User: user})
 	g.broadcastAdminLocked(wire.MemberLeft{Name: user}, "")
 	if !g.rekey.OnLeave || g.reg.size() == 0 {

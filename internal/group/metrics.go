@@ -26,6 +26,13 @@ var (
 	mResumes        = metrics.NewCounter("group_resumes_total")
 	mResumeRejected = metrics.NewCounter("group_resume_rejected_total")
 
+	// mLKHSeals counts AEAD seals performed by the key-update publisher —
+	// the quantity LKH makes logarithmic: per rotation it is ~arity·depth
+	// regardless of group size, versus the flat broadcast's n. mKeySyncs
+	// counts PathKeys resyncs served in answer to KeySyncReq.
+	mLKHSeals = metrics.NewCounter("group_lkh_seals_total")
+	mKeySyncs = metrics.NewCounter("group_key_syncs_total")
+
 	mAdminSent   = metrics.NewCounter("group_admin_sent_total")
 	mAdminAcked  = metrics.NewCounter("group_admin_acked_total")
 	mRetransmits = metrics.NewCounter("group_retransmits_total")

@@ -3,8 +3,10 @@ package group
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"enclaves/internal/core"
+	"enclaves/internal/lkh"
 	"enclaves/internal/replica"
 )
 
@@ -38,6 +40,13 @@ func Promote(cfg Config, st replica.State) (*Leader, error) {
 		return nil, errors.New("group: replica has no group key (standby never synced)")
 	}
 	cfg.Name = st.Primary
+	// A replicated key tree is authoritative over the standby's own flags:
+	// the members out there hold path keys, and the promoted leader must
+	// keep speaking LKH to them (and vice versa — no tree, no LKH).
+	cfg.LKH = len(st.Tree) > 0
+	if st.LKHArity >= 2 {
+		cfg.LKHArity = st.LKHArity
+	}
 	g, err := NewLeader(cfg)
 	if err != nil {
 		return nil, err
@@ -47,21 +56,56 @@ func Promote(cfg Config, st replica.State) (*Leader, error) {
 	g.groupKey = st.GroupKey
 	g.epoch = st.Epoch
 	g.audit.seed(st.AuditSeq)
+	if g.tree != nil {
+		recs := make([]lkh.Record, 0, len(st.Tree))
+		for _, n := range st.Tree {
+			recs = append(recs, fromReplNode(n))
+		}
+		sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+		tree, err := lkh.FromRecords(st.LKHArity, recs)
+		if err != nil {
+			// Corrupt replica: keep the fresh empty tree. Resuming members
+			// get brand-new leaves and paths — the O(log n) promotion
+			// degrades to full re-keying, never to a secrecy gap.
+			g.logf("group: replicated key tree rejected (%v); rebuilding from scratch", err)
+		} else {
+			g.tree = tree
+			g.groupKey = tree.RootKey()
+		}
+	}
 	g.resumable = make(map[string]core.SessionState, len(st.Members))
 	for user := range st.Members {
 		if _, known := g.users[user]; !known {
 			// A session for a user this standby is not configured to serve
-			// cannot be resumed; it will be refused and rejoin elsewhere.
+			// cannot be resumed: it is refused and will rejoin elsewhere.
+			// The audit stream records the drop as a departure, so resumes
+			// plus fresh joins reconcile exactly against the pre-crash
+			// membership; its path keys (if any) rotate with the forced
+			// rotation below.
 			g.logf("group: replicated session for unknown user %q dropped", user)
+			g.audit.emit(Event{Kind: EventLeft, User: user, Epoch: g.epoch, Detail: "not resumable on standby"})
+			if g.tree != nil {
+				g.tree.Remove(user)
+			}
 			continue
 		}
 		ss, _ := st.SessionState(user)
 		g.resumable[user] = ss
 	}
+	if st.RekeyPending {
+		// The primary crashed with its coalescing window armed: the trigger
+		// that armed it is absorbed by the forced rotation below. Credit it
+		// as coalesced so the trigger ledger (triggers == rekeys +
+		// coalesced) reconciles through the failover.
+		mRekeysCoalesced.Inc()
+	}
 	// The forced post-promotion rotation (exactly one: rekeyLocked emits the
 	// single EventRekeyed and ReplRekey delta). The registry is still empty,
 	// so the broadcast has no receivers; resuming members get the new key in
-	// their ResumeAck, and late rejoiners through acceptLocked.
+	// their ResumeAck, and late rejoiners through acceptLocked. Under LKH
+	// the rotation covers the root plus every path the replica recorded
+	// dirty — departures the crash caught mid-window stay forward-secret —
+	// rather than cutting a whole new flat key.
 	if err := g.rekeyLocked(); err != nil {
 		g.mu.Unlock()
 		g.Close()

@@ -3,6 +3,9 @@ package group
 import (
 	"errors"
 	"time"
+
+	"enclaves/internal/replica"
+	"enclaves/internal/wire"
 )
 
 // requestRekeyLocked registers one policy-triggered rotation with the
@@ -33,6 +36,10 @@ func (g *Leader) requestRekeyLocked() {
 		return
 	}
 	g.rekeyPending = true
+	// Replicate the armed window: if the primary crashes before the flush,
+	// the promoted standby owes the group this rotation (and the ledger its
+	// coalesced credit) — see Promote.
+	g.replPublish(replica.Delta{Kind: wire.ReplRekeyPending, Pending: true})
 	g.rekeyTimer = time.AfterFunc(g.coalesce, g.flushRekey)
 }
 

@@ -148,6 +148,13 @@ type Member struct {
 	view      map[string]bool
 	left      bool
 
+	// pathKeys is the LKH key bag: every node key this member holds on its
+	// leaf-to-root path, by node ID (see lkh.go). Nil until the leader
+	// delivers the first PathKeys — i.e. nil for flat-keyed groups.
+	// syncEpoch rate-limits outbound KeySyncReq to one per target epoch.
+	pathKeys  map[uint64]pathEntry
+	syncEpoch uint64
+
 	// lastAdminPayload/lastAck cache the most recently acknowledged
 	// AdminMsg and its ack (under mu). When the leader retransmits an
 	// unacknowledged AdminMsg (its copy of our ack was lost), the engine
@@ -479,6 +486,8 @@ func (m *Member) handle(env wire.Envelope) {
 		// by the engine — the resumption already consumed it — but the re-ack
 		// cache seeded by Resume answers it, same as a duplicate AdminMsg.
 		m.handleAdmin(env)
+	case wire.TypeKeyUpdate:
+		m.handleKeyUpdate(env)
 	case wire.TypeAppData:
 		m.handleAppData(env)
 	default:
@@ -509,17 +518,10 @@ func (m *Member) handleAdmin(env wire.Envelope) {
 	var out Event
 	switch body := ev.Admin.(type) {
 	case wire.NewGroupKey:
-		if m.groupKey.Valid() {
-			m.prevKey = m.groupKey
-			m.prevEpoch = m.epoch
-			m.prevCipher = m.groupCipher
-		}
-		m.groupKey = body.Key
-		m.epoch = body.Epoch
-		// Precompute the AEAD once per rekey; a bad key from a confused
-		// leader leaves the cipher nil and SendData reports ErrNoGroupKey.
-		m.groupCipher, _ = crypto.NewCipher(body.Key)
+		m.installGroupKeyLocked(body.Key, body.Epoch)
 		out = Event{Kind: EventRekey, Epoch: body.Epoch}
+	case wire.PathKeys:
+		out = m.applyPathKeysLocked(body)
 	case wire.MemberJoined:
 		m.view[body.Name] = true
 		out = Event{Kind: EventJoined, Name: body.Name}

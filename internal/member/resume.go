@@ -65,8 +65,7 @@ func Resume(conn transport.Conn, st core.SessionState, longTerm crypto.Key, opts
 	// unrecoverable for this attempt (the leader rejected or the state is
 	// stale), surfaced when the connection then drops.
 	var (
-		firstKey   wire.NewGroupKey
-		gotKey     bool
+		keyBody    wire.AdminBody
 		keySeq     uint64
 		firstReply *wire.Envelope
 		ackedBytes []byte
@@ -80,15 +79,18 @@ func Resume(conn transport.Conn, st core.SessionState, longTerm crypto.Key, opts
 		if err != nil {
 			continue
 		}
-		if key, ok := ev.Admin.(wire.NewGroupKey); ok {
-			firstKey, gotKey, keySeq = key, true, ev.Seq
+		switch ev.Admin.(type) {
+		case wire.NewGroupKey, wire.PathKeys:
+			// The post-promotion key material: the flat group key, or under
+			// LKH the member's complete leaf-to-root path (whose root IS the
+			// group key).
+			keyBody, keySeq = ev.Admin, ev.Seq
+		default:
+			// Any other body (or none) cannot complete the resumption; the
+			// !Valid check below rejects the attempt.
 		}
 		firstReply = ev.Reply
 		ackedBytes = env.Payload
-	}
-	if !gotKey {
-		conn.Close()
-		return nil, fmt.Errorf("member: resume ack carried no group key")
 	}
 
 	m := &Member{
@@ -103,9 +105,28 @@ func Resume(conn transport.Conn, st core.SessionState, longTerm crypto.Key, opts
 		outQ:       queue.New[wire.Envelope](),
 		writerDone: make(chan struct{}),
 	}
-	m.groupKey = firstKey.Key
-	m.epoch = firstKey.Epoch
-	m.groupCipher, _ = crypto.NewCipher(firstKey.Key)
+	switch body := keyBody.(type) {
+	case wire.NewGroupKey:
+		m.groupKey = body.Key
+		m.epoch = body.Epoch
+		m.groupCipher, _ = crypto.NewCipher(body.Key)
+	case wire.PathKeys:
+		m.pathKeys = make(map[uint64]pathEntry, len(body.Entries))
+		for _, e := range body.Entries {
+			m.pathKeys[e.Node] = pathEntry{ver: e.Ver, key: e.Key}
+		}
+		if gk, ok := body.GroupKey(); ok {
+			m.groupKey = gk
+			m.groupCipher, _ = crypto.NewCipher(gk)
+		}
+		m.epoch = body.Epoch
+	default:
+		// keyBody is nil: no key material arrived; rejected below.
+	}
+	if !m.groupKey.Valid() {
+		conn.Close()
+		return nil, fmt.Errorf("member: resume ack carried no group key")
+	}
 	m.lastRecv.Store(time.Now().UnixNano())
 	// Seed the re-ack cache with the ResumeAck itself: if our ack below is
 	// lost, the leader retransmits the ResumeAck and the cache answers it,
@@ -133,7 +154,7 @@ func Resume(conn transport.Conn, st core.SessionState, longTerm crypto.Key, opts
 	}
 	// Surface the post-promotion key to the application as the usual rekey
 	// event, correlated with the leader's pipeline sequence.
-	m.events.Push(Event{Kind: EventRekey, Epoch: firstKey.Epoch, Seq: keySeq})
+	m.events.Push(Event{Kind: EventRekey, Epoch: m.epoch, Seq: keySeq})
 	mEvents.Inc()
 	return m, nil
 }

@@ -36,6 +36,7 @@ type System struct {
 	cfg Config
 	pa  *symbolic.Field // A's long-term key P_a
 	kr  *symbolic.Field // replication key K_r (failover extension)
+	ks  *symbolic.Field // subtree key K_s (LKH extension)
 	a   *symbolic.Field
 	l   *symbolic.Field
 }
@@ -49,6 +50,7 @@ func NewSystem(cfg Config) *System {
 		cfg: cfg,
 		pa:  symbolic.LongTermKey(AgentUser),
 		kr:  symbolic.LongTermKey(AgentStandby),
+		ks:  symbolic.LongTermKey(AgentTree),
 		a:   symbolic.Agent(AgentUser),
 		l:   symbolic.Agent(AgentLeader),
 	}
@@ -64,6 +66,13 @@ func (sys *System) LongTermKey() *symbolic.Field { return sys.pa }
 // standby (failover extension). Like P_a it is pre-shared out of band and
 // must never occur in the trace.
 func (sys *System) ReplKey() *symbolic.Field { return sys.kr }
+
+// SubtreeKey returns K_s, the LKH extension's stand-in for the interior
+// subtree keys that current members share: the faithful rotation seals the
+// new tree key under it (the runtime seals under the rotated node's
+// children's current keys — keys departed members do not hold). Like P_a
+// and K_r it must never occur in the trace.
+func (sys *System) SubtreeKey() *symbolic.Field { return sys.ks }
 
 // Initial returns the initial global state q0.
 func (sys *System) Initial() *State { return NewInitialState() }
@@ -299,6 +308,13 @@ func (sys *System) leaderSteps(s *State) []Step {
 		if sys.cfg.Failover && s.Failovers < sys.cfg.MaxFailovers {
 			steps = append(steps, sys.leaderCrashPromote(s))
 		}
+		// LKH extension: deliver the member's path keys once per session,
+		// but never from a dirty tree — a departure-triggered rotation
+		// must complete before any new delivery (the runtime's rotation is
+		// synchronous with the departure, before further fan-out).
+		if sys.cfg.LKH && !s.TKSent && !s.TKDirty {
+			steps = append(steps, sys.leaderSendPathKeys(s))
+		}
 	case LeadWaitingForAck:
 		steps = append(steps, sys.leaderRecvAck(s)...)
 	case LeadPromoted:
@@ -307,7 +323,61 @@ func (sys *System) leaderSteps(s *State) []Step {
 	if s.Lead.Phase != LeadNotConnected {
 		steps = append(steps, sys.leaderRecvReqClose(s)...)
 	}
+	// LKH extension: a dirty tree is rotated regardless of the session
+	// phase — departures leave the leader NotConnected, promotions leave it
+	// Promoted, and the rotation must not wait for either to change.
+	if sys.cfg.LKH && s.TKDirty {
+		steps = append(steps, sys.leaderRotateTreeKey(s))
+	}
 	return steps
+}
+
+// leaderSendPathKeys (LKH extension): the leader delivers the member's
+// leaf-to-root path keys — abstracted to the path's root TK, which IS the
+// group key — sealed under the session key, once per connected session.
+// The first delivery allocates the tree key.
+func (sys *System) leaderSendPathKeys(s *State) Step {
+	n := s.Clone()
+	if n.TK == nil {
+		n.TK = n.freshKey()
+	}
+	m := Msg{
+		Label:    LabelPathKeys,
+		Sender:   AgentLeader,
+		Receiver: AgentUser,
+		Content:  symbolic.Enc(symbolic.Tuple(sys.l, sys.a, n.TK), s.Lead.Ka),
+	}
+	n.record(m)
+	n.TKSent = true
+	return Step{Actor: AgentLeader, Action: "deliver LKH path keys", Emitted: &m, Next: n}
+}
+
+// leaderRotateTreeKey (LKH extension): the leader replaces the tree key
+// with a fresh TK', broadcasting it sealed under the subtree key K_s that
+// only CURRENT members hold — the departed member (who knows the old TK via
+// its Oops) cannot open the update, which is exactly the forward-secrecy
+// obligation 5.6. The WeakLKHRotation mutation seals TK' under the old TK
+// instead, handing every future tree key to the departed member. The
+// rotation clears TKSent: connected members are re-keyed by a fresh
+// PathKeys delivery (post-promotion, via the resumed session).
+func (sys *System) leaderRotateTreeKey(s *State) Step {
+	n := s.Clone()
+	tk2 := n.freshKey()
+	under, how := sys.ks, "under K_s"
+	if sys.cfg.WeakLKHRotation {
+		under, how = s.TK, "under old TK (weak)"
+	}
+	m := Msg{
+		Label:    LabelKeyUpdate,
+		Sender:   AgentLeader,
+		Receiver: "*",
+		Content:  symbolic.Enc(symbolic.Pair(sys.l, tk2), under),
+	}
+	n.record(m)
+	n.TK = tk2
+	n.TKDirty = false
+	n.TKSent = false
+	return Step{Actor: AgentLeader, Action: "rotate tree key, seal KeyUpdate " + how, Emitted: &m, Next: n}
 }
 
 // leaderRecvInitReq: NotConnected -> WaitingForKeyAck(Nl, Ka) on reception
@@ -429,6 +499,14 @@ func (sys *System) leaderCrashPromote(s *State) Step {
 	n.Lead = LeaderState{Phase: LeadPromoted, N: s.Lead.N, Ka: s.Lead.Ka}
 	n.Failovers++
 	n.AdminSent = 0
+	// LKH extension: the promoted standby rebuilds the tree from the
+	// replica and forcibly rotates it (the runtime's epoch+1 on Promote) —
+	// the crash is fail-stop so the old TK is not Oops'd, but the rotation
+	// happens unconditionally because the standby cannot know whether the
+	// primary's key material outlived it.
+	if sys.cfg.LKH && s.TK != nil {
+		n.TKDirty = true
+	}
 	return Step{Actor: AgentLeader, Action: "primary crashes, standby promoted from ReplDelta", Emitted: &m, Next: n}
 }
 
@@ -487,8 +565,22 @@ func (sys *System) leaderRecvReqClose(s *State) []Step {
 		n.Lead = LeaderState{Phase: LeadNotConnected}
 		n.SndA = nil
 		n.AdminSent = 0
+		action := "accept ReqClose, close session, Oops(Ka)"
+		// LKH extension: a departing member keeps the tree key it was
+		// delivered — the Oops releases it (the departed member joins the
+		// intruder's coalition) and dirties the tree, forcing a rotation
+		// before any further path delivery. Forward secrecy (5.6) is
+		// exactly that this Oops never reveals a post-rotation key.
+		if sys.cfg.LKH && s.TKSent {
+			tkOops := Msg{Label: LabelOops, Sender: AgentLeader, Receiver: "*", Content: s.TK}
+			n.record(tkOops)
+			n.Oopsed.Add(s.TK)
+			n.TKDirty = true
+			action += "+Oops(TK)"
+		}
+		n.TKSent = false
 		steps = append(steps, Step{
-			Actor: AgentLeader, Action: "accept ReqClose, close session, Oops(Ka)",
+			Actor: AgentLeader, Action: action,
 			Consumed: c, Emitted: &oops, Next: n,
 		})
 	}

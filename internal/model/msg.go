@@ -45,6 +45,13 @@ const (
 	LabelResume
 	LabelResumeAck
 
+	// LKH extension (logical key hierarchy): the leader's delivery of a
+	// member's leaf-to-root path keys (abstracted to the tree root TK,
+	// sealed under the session key), and the sealed rotation broadcast that
+	// re-keys the tree after a departure or promotion.
+	LabelPathKeys
+	LabelKeyUpdate
+
 	// Legacy protocol (Section 2.2).
 	LabelReqOpen
 	LabelAckOpen
@@ -70,6 +77,8 @@ var labelNames = map[Label]string{
 	LabelReplDelta:      "ReplDelta",
 	LabelResume:         "Resume",
 	LabelResumeAck:      "ResumeAck",
+	LabelPathKeys:       "PathKeys",
+	LabelKeyUpdate:      "KeyUpdate",
 	LabelReqOpen:        "ReqOpen",
 	LabelAckOpen:        "AckOpen",
 	LabelConnDenied:     "ConnDenied",
@@ -125,4 +134,11 @@ const (
 	// replication key K_r (shared with the primary, never transmitted) is
 	// modeled as S's long-term key.
 	AgentStandby = "S"
+	// AgentTree is the pseudo-agent of the LKH extension standing for the
+	// interior of the key tree: the subtree keys a current member's path
+	// shares with its siblings are collapsed into the one long-term key
+	// K_s, held by the leader and current members only and never
+	// transmitted (rotations are sealed UNDER it, exactly as the runtime
+	// seals a rotated node's new key under its children's current keys).
+	AgentTree = "T"
 )

@@ -174,6 +174,23 @@ type Config struct {
 	// 1 when Failover is set.
 	MaxFailovers int
 
+	// LKH enables the logical-key-hierarchy extension: the leader maintains
+	// a tree key TK (the LKH root — the group key) delivered to connected
+	// members over PathKeys, and rotates it with a KeyUpdate sealed under
+	// the subtree key K_s whenever a departure or a promotion dirties the
+	// tree. Forward secrecy is the new 5.6 obligation: a departed member —
+	// folded into the intruder by the Oops(TK) it triggers — must never
+	// learn a post-departure TK.
+	LKH bool
+
+	// WeakLKHRotation deliberately seals the rotated tree key TK' under the
+	// OLD tree key instead of the subtree key K_s — the classic broken
+	// group rekey ("encrypt the new key under the key being replaced"),
+	// which hands every post-departure key to the departed member. It
+	// exists for the checker's sensitivity tests: only the 5.6 forward-
+	// secrecy obligation detects it, every other Section 5 property holds.
+	WeakLKHRotation bool
+
 	// WeakResumeFreshness deliberately REMOVES the resuming user's check
 	// that the ResumeAck echoes the fresh nonce sent in Resume. A replayed
 	// pre-failover AdminMsg (same content shape under the same K_a) is then
@@ -254,6 +271,15 @@ type State struct {
 	Failovers      int
 	ResumesStarted int
 
+	// TK is the current LKH tree key (nil until first allocated, and always
+	// nil with Config.LKH off). TKSent records that the connected member
+	// holds TK (a PathKeys delivery happened this session); TKDirty marks a
+	// tree whose key must be rotated before any further path delivery — set
+	// by the departure of a TK-holding member and by a crash+promotion.
+	TK      *symbolic.Field
+	TKSent  bool
+	TKDirty bool
+
 	// NonceCtr and KeyCtr allocate fresh honest nonces and session keys
 	// for A's sessions. E-session values come from a disjoint range (see
 	// ENonceCtr) so that interleaving A- and E-activity does not permute
@@ -315,6 +341,9 @@ func (s *State) Clone() *State {
 		AdminSent:      s.AdminSent,
 		Failovers:      s.Failovers,
 		ResumesStarted: s.ResumesStarted,
+		TK:             s.TK,
+		TKSent:         s.TKSent,
+		TKDirty:        s.TKDirty,
 
 		LeadE:        s.LeadE,
 		ESessions:    s.ESessions,
@@ -430,6 +459,7 @@ func (s *State) Key() string {
 	}
 	fmt.Fprintf(&b, "#%d/%d/%d/%d/%d/%d", s.ReqA, s.AccL, s.Sessions, s.AdminSent, s.NonceCtr, s.KeyCtr)
 	fmt.Fprintf(&b, "#%d/%d", s.Failovers, s.ResumesStarted)
+	fmt.Fprintf(&b, "#%s/%t/%t", canonOrDash(s.TK), s.TKSent, s.TKDirty)
 	fmt.Fprintf(&b, "#%s/%d/%d/%d/%d/%d", s.LeadE.key(), s.ESessions, s.AdminSentE, s.EEngagements, s.ENonceCtr, s.EKeyCtr)
 	return b.String()
 }

@@ -15,6 +15,7 @@ package replica
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"enclaves/internal/core"
@@ -56,6 +57,19 @@ type State struct {
 	GroupKey crypto.Key
 	AuditSeq uint64 // primary's audit-trace high-water mark
 	Members  map[string]Session
+
+	// LKH key-tree replica, present when the primary rekeys through a
+	// logical key hierarchy. Tree maps node ID to its replicated record; a
+	// promoted standby rebuilds the tree from it and rotates only the dirty
+	// paths instead of cutting a whole new flat key.
+	LKHArity int
+	Tree     map[uint64]wire.ReplLKHNode
+
+	// RekeyPending records that the primary had armed its rekey-coalescing
+	// window but not yet flushed it. A promotion with this flag set owes
+	// the group a rotation (and the trigger ledger a coalesced credit):
+	// the crash absorbed the pending triggers.
+	RekeyPending bool
 }
 
 // Clone deep-copies the state.
@@ -64,6 +78,12 @@ func (st State) Clone() State {
 	out.Members = make(map[string]Session, len(st.Members))
 	for u, s := range st.Members {
 		out.Members[u] = s
+	}
+	if st.Tree != nil {
+		out.Tree = make(map[uint64]wire.ReplLKHNode, len(st.Tree))
+		for id, n := range st.Tree {
+			out.Tree[id] = n
+		}
 	}
 	return out
 }
@@ -80,6 +100,13 @@ type Delta struct {
 	Seq      uint64
 	Epoch    uint64
 	GroupKey crypto.Key
+
+	// ReplLKH fields: tree records changed by a mutation, and node IDs
+	// pruned by a departure.
+	Nodes   []wire.ReplLKHNode
+	Removed []uint64
+	// ReplRekeyPending field: whether the coalescing window is armed.
+	Pending bool
 }
 
 // Apply folds the delta into the state.
@@ -95,6 +122,20 @@ func (st *State) Apply(d Delta) {
 	case wire.ReplRekey:
 		st.Epoch = d.Epoch
 		st.GroupKey = d.GroupKey
+		// A completed rotation settles any armed coalescing window.
+		st.RekeyPending = false
+	case wire.ReplLKH:
+		if st.Tree == nil {
+			st.Tree = make(map[uint64]wire.ReplLKHNode, len(d.Nodes))
+		}
+		for _, n := range d.Nodes {
+			st.Tree[n.ID] = n
+		}
+		for _, id := range d.Removed {
+			delete(st.Tree, id)
+		}
+	case wire.ReplRekeyPending:
+		st.RekeyPending = d.Pending
 	case wire.ReplSessionSync:
 		if s, ok := st.Members[d.User]; ok {
 			s.Nonce = d.Nonce
@@ -283,19 +324,25 @@ func (s *Sender) writer(sub *subscriber, n0 crypto.Nonce) {
 		if it.snap != nil {
 			env = wire.Envelope{Type: wire.TypeReplState, Sender: s.primary, Receiver: sub.standby}
 			p := wire.ReplStatePayload{
-				Standby:  sub.standby,
-				Primary:  s.primary,
-				Echo:     last,
-				Next:     next,
-				Epoch:    it.snap.Epoch,
-				GroupKey: it.snap.GroupKey,
-				AuditSeq: it.snap.AuditSeq,
+				Standby:      sub.standby,
+				Primary:      s.primary,
+				Echo:         last,
+				Next:         next,
+				Epoch:        it.snap.Epoch,
+				GroupKey:     it.snap.GroupKey,
+				AuditSeq:     it.snap.AuditSeq,
+				LKHArity:     uint8(it.snap.LKHArity),
+				RekeyPending: it.snap.RekeyPending,
 			}
 			for u, m := range it.snap.Members {
 				p.Members = append(p.Members, wire.ReplMember{
 					User: u, SessionKey: m.SessionKey, Nonce: m.Nonce, Seq: m.Seq,
 				})
 			}
+			for _, n := range it.snap.Tree {
+				p.Tree = append(p.Tree, n)
+			}
+			sort.Slice(p.Tree, func(i, j int) bool { return p.Tree[i].ID < p.Tree[j].ID })
 			plain = p.Marshal()
 			mSnapshots.Inc()
 		} else {
@@ -314,6 +361,9 @@ func (s *Sender) writer(sub *subscriber, n0 crypto.Nonce) {
 				Seq:      d.Seq,
 				Epoch:    d.Epoch,
 				GroupKey: d.GroupKey,
+				Nodes:    d.Nodes,
+				Removed:  d.Removed,
+				Pending:  d.Pending,
 			}
 			plain = p.Marshal()
 		}

@@ -254,14 +254,22 @@ func (s *Standby) subscribeOnce(cipher *crypto.Cipher) error {
 		return errors.New("snapshot does not echo our hello nonce")
 	}
 	st := State{
-		Primary:  s.cfg.Primary,
-		Epoch:    snap.Epoch,
-		GroupKey: snap.GroupKey,
-		AuditSeq: snap.AuditSeq,
-		Members:  make(map[string]Session, len(snap.Members)),
+		Primary:      s.cfg.Primary,
+		Epoch:        snap.Epoch,
+		GroupKey:     snap.GroupKey,
+		AuditSeq:     snap.AuditSeq,
+		Members:      make(map[string]Session, len(snap.Members)),
+		LKHArity:     int(snap.LKHArity),
+		RekeyPending: snap.RekeyPending,
 	}
 	for _, m := range snap.Members {
 		st.Members[m.User] = Session{SessionKey: m.SessionKey, Nonce: m.Nonce, Seq: m.Seq}
+	}
+	if len(snap.Tree) > 0 {
+		st.Tree = make(map[uint64]wire.ReplLKHNode, len(snap.Tree))
+		for _, n := range snap.Tree {
+			st.Tree[n.ID] = n
+		}
 	}
 	last := snap.Next
 	s.mu.Lock()
@@ -307,6 +315,9 @@ func (s *Standby) subscribeOnce(cipher *crypto.Cipher) error {
 			Seq:      d.Seq,
 			Epoch:    d.Epoch,
 			GroupKey: d.GroupKey,
+			Nodes:    d.Nodes,
+			Removed:  d.Removed,
+			Pending:  d.Pending,
 		})
 		s.lastOK = time.Now()
 		s.mu.Unlock()

@@ -28,6 +28,7 @@ const (
 	AdminMemberLeft
 	AdminMemberList
 	AdminHeartbeat
+	AdminPathKeys
 )
 
 func (k AdminKind) String() string {
@@ -42,6 +43,8 @@ func (k AdminKind) String() string {
 		return "MemberList"
 	case AdminHeartbeat:
 		return "Heartbeat"
+	case AdminPathKeys:
+		return "PathKeys"
 	default:
 		return fmt.Sprintf("AdminKind(%d)", uint8(k))
 	}
@@ -110,6 +113,49 @@ func (Heartbeat) AdminKind() AdminKind { return AdminHeartbeat }
 
 func (Heartbeat) String() string { return "Heartbeat()" }
 
+// PathEntry is one node on a member's leaf-to-root key path.
+type PathEntry struct {
+	Node uint64
+	Ver  uint64
+	Key  crypto.Key
+}
+
+// MaxPathEntries bounds a PathKeys message: a sane key tree over
+// MaxReplMembers leaves is under 64 levels deep by an astronomical margin.
+const MaxPathEntries = 64
+
+// PathKeys hands a member its complete leaf-to-root key path of the
+// logical key hierarchy: the leaf it owns, every ancestor key up to the
+// root (whose key is the group key of Epoch), all version-stamped. It is
+// sent on join, on resume, and in answer to a KeySyncReq, and rides the
+// reliable ack-gated AdminMsg pipeline under K_a — unlike the
+// fire-and-forget KeyUpdate frames it repairs. Entries are ordered leaf
+// first, root last.
+type PathKeys struct {
+	Epoch   uint64
+	Root    uint64 // node whose key is the group key
+	Leaf    uint64 // the member's own leaf
+	Entries []PathEntry
+}
+
+// AdminKind implements AdminBody.
+func (PathKeys) AdminKind() AdminKind { return AdminPathKeys }
+
+func (b PathKeys) String() string {
+	return fmt.Sprintf("PathKeys(epoch=%d, root=%d, leaf=%d, %d entries)",
+		b.Epoch, b.Root, b.Leaf, len(b.Entries))
+}
+
+// GroupKey returns the root entry's key — the group key — if present.
+func (b PathKeys) GroupKey() (crypto.Key, bool) {
+	for _, e := range b.Entries {
+		if e.Node == b.Root {
+			return e.Key, true
+		}
+	}
+	return crypto.Key{}, false
+}
+
 // MarshalAdminBody encodes an admin body with its kind tag.
 func MarshalAdminBody(body AdminBody) []byte {
 	var b builder
@@ -131,6 +177,16 @@ func MarshalAdminBody(body AdminBody) []byte {
 		}
 	case Heartbeat:
 		// No fields: the kind tag is the whole encoding.
+	case PathKeys:
+		b.putUint64(v.Epoch)
+		b.putUint64(v.Root)
+		b.putUint64(v.Leaf)
+		b.putUint64(uint64(len(v.Entries)))
+		for _, e := range v.Entries {
+			b.putUint64(e.Node)
+			b.putUint64(e.Ver)
+			b.bytes = append(b.bytes, e.Key.Bytes()...)
+		}
 	}
 	return b.bytes
 }
@@ -181,6 +237,35 @@ func UnmarshalAdminBody(data []byte) (AdminBody, error) {
 			return nil, fmt.Errorf("%w: heartbeat: %v", ErrBadPayload, err)
 		}
 		return Heartbeat{}, nil
+	case AdminPathKeys:
+		out := PathKeys{
+			Epoch: p.uint64(),
+			Root:  p.uint64(),
+			Leaf:  p.uint64(),
+		}
+		n := p.uint64()
+		if p.err == nil && n > MaxPathEntries {
+			return nil, fmt.Errorf("%w: path of %d entries", ErrBadPayload, n)
+		}
+		if p.err == nil {
+			out.Entries = make([]PathEntry, 0, n)
+			for i := uint64(0); i < n && p.err == nil; i++ {
+				e := PathEntry{Node: p.uint64(), Ver: p.uint64()}
+				raw := p.fixed(crypto.KeySize)
+				if p.err == nil {
+					k, err := crypto.KeyFromBytes(raw)
+					if err != nil {
+						return nil, fmt.Errorf("%w: path keys: %v", ErrBadPayload, err)
+					}
+					e.Key = k
+					out.Entries = append(out.Entries, e)
+				}
+			}
+		}
+		if err := p.finish(); err != nil {
+			return nil, fmt.Errorf("%w: path keys: %v", ErrBadPayload, err)
+		}
+		return out, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown admin kind %d", ErrBadPayload, uint8(kind))
 	}

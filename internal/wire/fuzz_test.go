@@ -36,6 +36,8 @@ func fuzzSeeds(f *F) []Envelope {
 		{Type: TypeReplDelta, Sender: "leader", Receiver: "standby", Payload: []byte{0x03, 0x00}},
 		{Type: TypeResume, Sender: "alice", Receiver: "leader", Payload: bytes.Repeat([]byte{0x5A}, 32)},
 		{Type: TypeResumeAck, Sender: "leader", Receiver: "alice"},
+		{Type: TypeKeyUpdate, Sender: "leader", Receiver: "", Payload: bytes.Repeat([]byte{0x42}, 96)},
+		{Type: TypeKeySyncReq, Sender: "alice", Receiver: "leader", Payload: []byte{0, 0, 0, 0, 0, 0, 0, 7}},
 	}
 	return seeds
 }
@@ -162,6 +164,43 @@ func FuzzReadFrame(f *testing.F) {
 		consumed := len(stream) - r.Len()
 		if !bytes.Equal(enc, stream[:consumed]) {
 			t.Fatalf("accepted stream prefix is not canonical:\n in: %x\nout: %x", stream[:consumed], enc)
+		}
+	})
+}
+
+// FuzzKeyUpdate drives the LKH payload codecs with arbitrary bytes: neither
+// UnmarshalKeyUpdate nor UnmarshalKeySync nor the PathKeys admin-body
+// decoder may panic or over-allocate, and whatever they accept must
+// re-marshal canonically (including the AD prefix KeyUpdate seals bind to).
+func FuzzKeyUpdate(f *testing.F) {
+	ku := KeyUpdatePayload{Node: 9, Ver: 3, Under: 4, Epoch: 12, Root: true, Box: bytes.Repeat([]byte{0xAB}, 60)}
+	f.Add(ku.Marshal())
+	f.Add(KeyUpdatePayload{Node: 1, Ver: 1, Under: 2, Epoch: 1}.Marshal())
+	f.Add(KeySyncPayload{Epoch: 41}.Marshal())
+	f.Add(MarshalAdminBody(PathKeys{Epoch: 7, Root: 1, Leaf: 5}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 41))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if p, err := UnmarshalKeyUpdate(data); err == nil {
+			if !bytes.Equal(p.Marshal(), data) {
+				t.Fatalf("accepted key update is not canonical: %x", data)
+			}
+			if !bytes.Equal(p.Marshal()[:len(p.AD())], p.AD()) {
+				t.Fatal("AD is not a prefix of the encoding")
+			}
+		}
+		if p, err := UnmarshalKeySync(data); err == nil {
+			if !bytes.Equal(p.Marshal(), data) {
+				t.Fatalf("accepted key sync is not canonical: %x", data)
+			}
+		}
+		if body, err := UnmarshalAdminBody(data); err == nil {
+			if pk, ok := body.(PathKeys); ok {
+				if !bytes.Equal(MarshalAdminBody(pk), data) {
+					t.Fatalf("accepted path keys are not canonical: %x", data)
+				}
+			}
 		}
 	})
 }

@@ -53,6 +53,16 @@ const (
 	// ReplPing: liveness probe of the replication channel itself; advances
 	// the nonce chain and the audit high-water mark, changes nothing else.
 	ReplPing
+	// ReplLKH: the logical key hierarchy changed; carries the created or
+	// modified node records and the removed node IDs, so the standby can
+	// mirror the key tree and a promoted leader can rotate a single path
+	// instead of rebuilding a flat key for everyone.
+	ReplLKH
+	// ReplRekeyPending: the primary armed (true) a rekey-coalescing window.
+	// A ReplRekey clears it. A standby that promotes with the flag still
+	// set absorbs the stranded trigger into its forced rotation, keeping
+	// the triggers == rekeys + coalesced ledger closed across the crash.
+	ReplRekeyPending
 )
 
 func (k ReplDeltaKind) String() string {
@@ -67,6 +77,10 @@ func (k ReplDeltaKind) String() string {
 		return "SessionSync"
 	case ReplPing:
 		return "Ping"
+	case ReplLKH:
+		return "LKH"
+	case ReplRekeyPending:
+		return "RekeyPending"
 	default:
 		return fmt.Sprintf("ReplDeltaKind(%d)", uint8(k))
 	}
@@ -98,6 +112,13 @@ type ReplStatePayload struct {
 	GroupKey crypto.Key
 	AuditSeq uint64 // audit-trace high-water mark at snapshot time
 	Members  []ReplMember
+
+	// Logical key hierarchy state: the full node table when the primary
+	// runs with the key tree enabled (empty otherwise), and whether a
+	// rekey-coalescing window was armed at snapshot time.
+	LKHArity     uint8
+	Tree         []ReplLKHNode
+	RekeyPending bool
 }
 
 // Marshal encodes the payload deterministically.
@@ -124,6 +145,16 @@ func (p ReplStatePayload) Marshal() []byte {
 		b.bytes = append(b.bytes, m.SessionKey.Bytes()...)
 		b.bytes = append(b.bytes, m.Nonce[:]...)
 		b.putUint64(m.Seq)
+	}
+	b.putUint8(p.LKHArity)
+	b.putUint64(uint64(len(p.Tree)))
+	for _, n := range p.Tree {
+		appendReplLKHNode(&b, n)
+	}
+	if p.RekeyPending {
+		b.putUint8(1)
+	} else {
+		b.putUint8(0)
 	}
 	return b.bytes
 }
@@ -173,6 +204,26 @@ func UnmarshalReplState(data []byte) (ReplStatePayload, error) {
 			}
 		}
 	}
+	out.LKHArity = p.uint8()
+	tn := p.uint64()
+	if p.err == nil && tn > MaxReplNodes {
+		return ReplStatePayload{}, fmt.Errorf("%w: repl state with %d tree nodes", ErrBadPayload, tn)
+	}
+	if p.err == nil && tn > 0 {
+		out.Tree = make([]ReplLKHNode, 0, tn)
+		for i := uint64(0); i < tn && p.err == nil; i++ {
+			node, err := parseReplLKHNode(&p)
+			if err != nil {
+				return ReplStatePayload{}, fmt.Errorf("%w: repl state tree: %v", ErrBadPayload, err)
+			}
+			out.Tree = append(out.Tree, node)
+		}
+	}
+	pending := p.uint8()
+	if p.err == nil && pending > 1 {
+		return ReplStatePayload{}, fmt.Errorf("%w: repl state pending flag %d", ErrBadPayload, pending)
+	}
+	out.RekeyPending = pending == 1
 	if err := p.finish(); err != nil {
 		return ReplStatePayload{}, fmt.Errorf("%w: repl state: %v", ErrBadPayload, err)
 	}
@@ -195,12 +246,15 @@ type ReplDeltaPayload struct {
 	AuditSeq uint64 // audit-trace high-water mark after the event
 
 	// Kind-dependent fields; unused ones are zero.
-	User     string       // MemberUp, MemberDown, SessionSync
-	Session  crypto.Key   // MemberUp: K_a
-	Nonce    crypto.Nonce // MemberUp, SessionSync: member's chained nonce
-	Seq      uint64       // MemberUp, SessionSync: pipeline sequence
-	Epoch    uint64       // Rekey
-	GroupKey crypto.Key   // Rekey
+	User     string        // MemberUp, MemberDown, SessionSync
+	Session  crypto.Key    // MemberUp: K_a
+	Nonce    crypto.Nonce  // MemberUp, SessionSync: member's chained nonce
+	Seq      uint64        // MemberUp, SessionSync: pipeline sequence
+	Epoch    uint64        // Rekey
+	GroupKey crypto.Key    // Rekey
+	Nodes    []ReplLKHNode // LKH: created or modified tree nodes
+	Removed  []uint64      // LKH: removed tree-node IDs
+	Pending  bool          // RekeyPending: window armed (a Rekey clears it)
 }
 
 // Marshal encodes the payload deterministically.
@@ -229,6 +283,21 @@ func (p ReplDeltaPayload) Marshal() []byte {
 		b.putUint64(p.Seq)
 	case ReplPing:
 		// The chain advance is the whole message.
+	case ReplLKH:
+		b.putUint64(uint64(len(p.Nodes)))
+		for _, n := range p.Nodes {
+			appendReplLKHNode(&b, n)
+		}
+		b.putUint64(uint64(len(p.Removed)))
+		for _, id := range p.Removed {
+			b.putUint64(id)
+		}
+	case ReplRekeyPending:
+		if p.Pending {
+			b.putUint8(1)
+		} else {
+			b.putUint8(0)
+		}
 	}
 	return b.bytes
 }
@@ -275,6 +344,37 @@ func UnmarshalReplDelta(data []byte) (ReplDeltaPayload, error) {
 		out.Seq = p.uint64()
 	case ReplPing:
 		// No fields.
+	case ReplLKH:
+		n := p.uint64()
+		if p.err == nil && n > MaxReplNodes {
+			return ReplDeltaPayload{}, fmt.Errorf("%w: repl delta with %d tree nodes", ErrBadPayload, n)
+		}
+		if p.err == nil && n > 0 {
+			out.Nodes = make([]ReplLKHNode, 0, n)
+			for i := uint64(0); i < n && p.err == nil; i++ {
+				node, err := parseReplLKHNode(&p)
+				if err != nil {
+					return ReplDeltaPayload{}, fmt.Errorf("%w: repl delta tree: %v", ErrBadPayload, err)
+				}
+				out.Nodes = append(out.Nodes, node)
+			}
+		}
+		r := p.uint64()
+		if p.err == nil && r > MaxReplNodes {
+			return ReplDeltaPayload{}, fmt.Errorf("%w: repl delta with %d removals", ErrBadPayload, r)
+		}
+		if p.err == nil && r > 0 {
+			out.Removed = make([]uint64, 0, r)
+			for i := uint64(0); i < r && p.err == nil; i++ {
+				out.Removed = append(out.Removed, p.uint64())
+			}
+		}
+	case ReplRekeyPending:
+		flag := p.uint8()
+		if p.err == nil && flag > 1 {
+			return ReplDeltaPayload{}, fmt.Errorf("%w: repl pending flag %d", ErrBadPayload, flag)
+		}
+		out.Pending = flag == 1
 	default:
 		return ReplDeltaPayload{}, fmt.Errorf("%w: unknown repl delta kind %d", ErrBadPayload, uint8(out.Kind))
 	}

@@ -171,7 +171,7 @@ func TestReplPayloadsRejectGarbageAndTrailing(t *testing.T) {
 }
 
 func TestReplDeltaKindString(t *testing.T) {
-	for _, k := range []ReplDeltaKind{ReplMemberUp, ReplMemberDown, ReplRekey, ReplSessionSync, ReplPing} {
+	for _, k := range []ReplDeltaKind{ReplMemberUp, ReplMemberDown, ReplRekey, ReplSessionSync, ReplPing, ReplLKH, ReplRekeyPending} {
 		if strings.Contains(k.String(), "ReplDeltaKind(") {
 			t.Errorf("kind %d has no name", uint8(k))
 		}
@@ -192,10 +192,19 @@ func FuzzReplPayloads(f *testing.F) {
 	for _, p := range seedState {
 		f.Add(p.Marshal())
 	}
-	for _, k := range []ReplDeltaKind{ReplMemberUp, ReplMemberDown, ReplRekey, ReplSessionSync, ReplPing} {
-		p := ReplDeltaPayload{Primary: "p", Standby: "s", Kind: k, User: "alice", Seq: 4, Epoch: 2}
+	for _, k := range []ReplDeltaKind{ReplMemberUp, ReplMemberDown, ReplRekey, ReplSessionSync, ReplPing, ReplRekeyPending} {
+		p := ReplDeltaPayload{Primary: "p", Standby: "s", Kind: k, User: "alice", Seq: 4, Epoch: 2,
+			Pending: k == ReplRekeyPending}
 		f.Add(p.Marshal())
 	}
+	seedKey, err := crypto.KeyFromBytes(make([]byte, crypto.KeySize))
+	if err != nil {
+		f.Fatal(err)
+	}
+	lkhDelta := ReplDeltaPayload{Primary: "p", Standby: "s", Kind: ReplLKH,
+		Nodes:   []ReplLKHNode{{ID: 3, Parent: 1, Ver: 2, User: "alice", Key: seedKey, Dirty: true}},
+		Removed: []uint64{7, 9}}
+	f.Add(lkhDelta.Marshal())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if p, err := UnmarshalReplState(data); err == nil {
 			if got := p.Marshal(); string(got) != string(data) {

@@ -60,6 +60,15 @@ const (
 	TypeReplDelta
 	TypeResume
 	TypeResumeAck
+
+	// Logical key hierarchy (LKH) rekeying. KeyUpdate carries one rotated
+	// tree-node key sealed under a subtree key, fanned out encode-once to
+	// the subtree's members; KeySyncReq is a member's request for a fresh
+	// PathKeys admin message after it detects a missed update (updates are
+	// fire-and-forget, so loss is repaired by resynchronization, not
+	// retransmission).
+	TypeKeyUpdate
+	TypeKeySyncReq
 )
 
 var typeNames = map[Type]string{
@@ -87,6 +96,8 @@ var typeNames = map[Type]string{
 	TypeReplDelta:      "ReplDelta",
 	TypeResume:         "Resume",
 	TypeResumeAck:      "ResumeAck",
+	TypeKeyUpdate:      "KeyUpdate",
+	TypeKeySyncReq:     "KeySyncReq",
 }
 
 func (t Type) String() string {
