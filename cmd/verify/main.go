@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	verify [-sessions N] [-admin N] [-rekeys N] [-fsm]
+//	verify [-sessions N] [-admin N] [-rekeys N] [-workers N] [-fsm]
 //
 // Exit status is nonzero if any obligation fails — i.e. if the
 // implementation's model disagrees with the paper.
@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"enclaves/internal/checker"
 	"enclaves/internal/model"
@@ -40,6 +41,8 @@ func run(args []string, out io.Writer) error {
 		eMember  = fs.Bool("intruder-sessions", false, "let the leader also serve the compromised member E (larger space)")
 		lkh      = fs.Bool("lkh", false, "enable the LKH key-tree extension (adds the 5.6 forward-secrecy obligation; skips the Figure 4 diagram)")
 		dot      = fs.Bool("dot", false, "emit only the Figure 4 diagram in Graphviz DOT format")
+		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "BFS expansion workers per exploration")
+		speedup  = fs.Bool("speedup", false, "also re-run the improved exploration sequentially and report the parallel speedup")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,9 +52,11 @@ func run(args []string, out io.Writer) error {
 		printFSMs(out)
 	}
 
-	rep := checker.Run(
-		model.Config{MaxSessions: *sessions, MaxAdmin: *admin, IntruderSessions: *eMember, LKH: *lkh},
+	cfg := model.Config{MaxSessions: *sessions, MaxAdmin: *admin, IntruderSessions: *eMember, LKH: *lkh}
+	rep := checker.RunOpts(
+		cfg,
 		model.LegacyConfig{MaxRekeys: *rekeys},
+		checker.Options{Workers: *workers},
 	)
 	if *dot {
 		if rep.Diagram == nil {
@@ -63,12 +68,24 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	}
+
+	ratio := 0.0
+	if *speedup {
+		seq := checker.RunOpts(cfg, model.LegacyConfig{MaxRekeys: *rekeys}, checker.Options{Workers: 1})
+		if rep.Elapsed > 0 {
+			ratio = seq.Elapsed.Seconds() / rep.Elapsed.Seconds()
+		}
+	}
+
 	if *asJSON {
-		if err := writeJSON(out, rep); err != nil {
+		if err := writeJSON(out, rep, ratio); err != nil {
 			return err
 		}
 	} else {
 		fmt.Fprint(out, rep)
+		if ratio > 0 {
+			fmt.Fprintf(out, "\nParallel speedup: %.2f× (workers=%d vs sequential)\n", ratio, rep.Workers)
+		}
 	}
 	if !rep.AllHold() {
 		return fmt.Errorf("verification FAILED")
@@ -88,36 +105,72 @@ type jsonObligation struct {
 	Witness []string `json:"witness,omitempty"`
 }
 
-// jsonReport is the machine-readable verification report.
+// jsonExtension is the machine-readable form of one concurrently-explored
+// ablation configuration.
+type jsonExtension struct {
+	Name        string           `json:"name"`
+	States      int              `json:"states"`
+	Transitions int              `json:"transitions"`
+	Depth       int              `json:"depth"`
+	Obligations []jsonObligation `json:"obligations"`
+}
+
+// jsonReport is the machine-readable verification report. The run
+// configuration (lkh, intruderSessions, workers) and timing fields make
+// each row of BENCH_checker.json self-describing.
 type jsonReport struct {
-	Sessions     int              `json:"sessions"`
-	Admin        int              `json:"adminPerSession"`
-	States       int              `json:"states"`
-	Transitions  int              `json:"transitions"`
-	Depth        int              `json:"depth"`
-	Improved     []jsonObligation `json:"improved"`
-	BoxCounts    map[string]int   `json:"diagramBoxCounts"`
-	EdgeCounts   map[string]int   `json:"diagramEdgeCounts"`
-	LegacyStates int              `json:"legacyStates"`
-	Legacy       []jsonObligation `json:"legacyAttacks"`
-	AllHold      bool             `json:"allHold"`
+	Sessions         int              `json:"sessions"`
+	Admin            int              `json:"adminPerSession"`
+	LKH              bool             `json:"lkh"`
+	IntruderSessions bool             `json:"intruderSessions"`
+	Workers          int              `json:"workers"`
+	WallMs           float64          `json:"wallMs"`
+	StatesPerSec     float64          `json:"statesPerSec"`
+	TotalStates      int              `json:"totalStates"`
+	Speedup          float64          `json:"speedup,omitempty"`
+	States           int              `json:"states"`
+	Transitions      int              `json:"transitions"`
+	Depth            int              `json:"depth"`
+	Improved         []jsonObligation `json:"improved"`
+	Extensions       []jsonExtension  `json:"extensions,omitempty"`
+	BoxCounts        map[string]int   `json:"diagramBoxCounts"`
+	EdgeCounts       map[string]int   `json:"diagramEdgeCounts"`
+	LegacyStates     int              `json:"legacyStates"`
+	Legacy           []jsonObligation `json:"legacyAttacks"`
+	AllHold          bool             `json:"allHold"`
 }
 
 // writeJSON renders the report as indented JSON.
-func writeJSON(out io.Writer, rep *checker.Report) error {
+func writeJSON(out io.Writer, rep *checker.Report, speedup float64) error {
 	jr := jsonReport{
-		Sessions:     rep.Config.MaxSessions,
-		Admin:        rep.Config.MaxAdmin,
-		States:       rep.States,
-		Transitions:  rep.Edges,
-		Depth:        rep.Depth,
-		LegacyStates: rep.LegacyStates,
-		AllHold:      rep.AllHold(),
+		Sessions:         rep.Config.MaxSessions,
+		Admin:            rep.Config.MaxAdmin,
+		LKH:              rep.Config.LKH,
+		IntruderSessions: rep.Config.IntruderSessions,
+		Workers:          rep.Workers,
+		WallMs:           float64(rep.Elapsed.Microseconds()) / 1000,
+		StatesPerSec:     rep.StatesPerSec(),
+		TotalStates:      rep.TotalStates(),
+		Speedup:          speedup,
+		States:           rep.States,
+		Transitions:      rep.Edges,
+		Depth:            rep.Depth,
+		LegacyStates:     rep.LegacyStates,
+		AllHold:          rep.AllHold(),
 	}
 	for _, o := range rep.Improved {
 		jr.Improved = append(jr.Improved, jsonObligation{
 			ID: o.ID, Name: o.Name, Holds: o.Holds, Detail: o.Detail, Witness: o.Witness,
 		})
+	}
+	for _, e := range rep.Extensions {
+		je := jsonExtension{Name: e.Name, States: e.States, Transitions: e.Transitions, Depth: e.Depth}
+		for _, o := range e.Obligations {
+			je.Obligations = append(je.Obligations, jsonObligation{
+				ID: o.ID, Name: o.Name, Holds: o.Holds, Detail: o.Detail, Witness: o.Witness,
+			})
+		}
+		jr.Extensions = append(jr.Extensions, je)
 	}
 	for _, o := range rep.Legacy {
 		jr.Legacy = append(jr.Legacy, jsonObligation{

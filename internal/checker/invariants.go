@@ -32,23 +32,17 @@ func CheckSecrecyLongTerm(ex *Exploration) Obligation {
 }
 
 // CheckRegularity verifies the regularity lemma's premise (Section 5.1): no
-// transition by A or L ever emits a message containing P_a as a part.
+// transition by A or L ever emits a message containing P_a as a part. The
+// check is computed by the exploration workers as transitions are generated
+// (Exploration.HonestSends / RegViolation), so it holds over every explored
+// transition even when the edge list itself is not retained.
 func CheckRegularity(ex *Exploration) Obligation {
-	pa := ex.System.LongTermKey()
-	checked := 0
-	for _, e := range ex.Edges {
-		if e.Step.Actor == model.AgentIntruder || e.Step.Emitted == nil {
-			continue
-		}
-		checked++
-		parts := symbolic.Parts(symbolic.NewSet(e.Step.Emitted.Content))
-		if parts.Contains(pa) {
-			return fail("5.1r", "protocol regularity (honest agents never send P_a)",
-				fmt.Sprintf("%s emits P_a in %s", e.Step.Actor, e.Step.Emitted), e.To)
-		}
+	if e := ex.RegViolation; e != nil {
+		return fail("5.1r", "protocol regularity (honest agents never send P_a)",
+			fmt.Sprintf("%s emits P_a in %s", e.Step.Actor, e.Step.Emitted), e.To)
 	}
 	return pass("5.1r", "protocol regularity (honest agents never send P_a)",
-		fmt.Sprintf("%d honest sends", checked))
+		fmt.Sprintf("%d honest sends", ex.HonestSends))
 }
 
 // CheckSecrecySession verifies the Section 5.2 theorem: for every reachable

@@ -1,0 +1,173 @@
+package checker
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"enclaves/internal/model"
+)
+
+// exploreSignature captures everything the obligations and the diagram can
+// observe about an exploration: node keys in discovery order, transition
+// count, depth, and the verdict of every Section 5 obligation.
+type exploreSignature struct {
+	keys        []string
+	transitions int
+	depth       int
+	verdicts    []string
+}
+
+func signatureOf(ex *Exploration) exploreSignature {
+	sig := exploreSignature{transitions: ex.Transitions, depth: ex.Depth}
+	for _, n := range ex.Nodes {
+		sig.keys = append(sig.keys, n.State.Key())
+	}
+	for _, o := range AllInvariants(ex) {
+		sig.verdicts = append(sig.verdicts, fmt.Sprintf("%s=%t:%s", o.ID, o.Holds, o.Detail))
+	}
+	return sig
+}
+
+func (a exploreSignature) equal(b exploreSignature) string {
+	if len(a.keys) != len(b.keys) {
+		return fmt.Sprintf("state counts differ: %d vs %d", len(a.keys), len(b.keys))
+	}
+	for i := range a.keys {
+		if a.keys[i] != b.keys[i] {
+			return fmt.Sprintf("node %d differs:\n  %s\n  %s", i, a.keys[i], b.keys[i])
+		}
+	}
+	if a.transitions != b.transitions {
+		return fmt.Sprintf("transition counts differ: %d vs %d", a.transitions, b.transitions)
+	}
+	if a.depth != b.depth {
+		return fmt.Sprintf("depths differ: %d vs %d", a.depth, b.depth)
+	}
+	for i := range a.verdicts {
+		if a.verdicts[i] != b.verdicts[i] {
+			return fmt.Sprintf("obligation differs:\n  %s\n  %s", a.verdicts[i], b.verdicts[i])
+		}
+	}
+	return ""
+}
+
+// TestParallelExploreEquivalence pins the determinism contract of the
+// parallel BFS: for every worker count, the exploration discovers the SAME
+// states in the SAME order with the same depth and transition count, and
+// every obligation returns the identical verdict and detail string. The
+// sequential baseline is the workers=1 run through the same code path.
+func TestParallelExploreEquivalence(t *testing.T) {
+	configs := []model.Config{
+		{MaxSessions: 2, MaxAdmin: 2},
+		{MaxSessions: 3, MaxAdmin: 2},
+		{MaxSessions: 2, MaxAdmin: 2, LKH: true, Failover: true},
+		{MaxSessions: 1, MaxAdmin: 2, IntruderSessions: true},
+	}
+	workerCounts := []int{2}
+	if g := runtime.GOMAXPROCS(0); g > 2 {
+		workerCounts = append(workerCounts, g)
+	}
+
+	for _, cfg := range configs {
+		cfg := cfg
+		name := fmt.Sprintf("s%d_a%d_lkh%t_is%t", cfg.MaxSessions, cfg.MaxAdmin, cfg.LKH, cfg.IntruderSessions)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			base := signatureOf(ExploreOpts(cfg, Options{Workers: 1, Edges: true}))
+			for _, w := range workerCounts {
+				// Edge retention must not affect the search; exercise both
+				// paths across the matrix without doubling every run.
+				got := signatureOf(ExploreOpts(cfg, Options{Workers: w, Edges: w == 2}))
+				if diff := base.equal(got); diff != "" {
+					t.Fatalf("workers=%d diverges from sequential: %s", w, diff)
+				}
+			}
+		})
+	}
+}
+
+// TestExploreEdgeGating pins the memory satellite: with Options.Edges off
+// the edge list is not retained, but the transition count, regularity
+// statistics, and every node stay identical.
+func TestExploreEdgeGating(t *testing.T) {
+	cfg := model.Config{MaxSessions: 2, MaxAdmin: 2, LKH: true}
+	with := ExploreOpts(cfg, Options{Workers: 1, Edges: true})
+	without := ExploreOpts(cfg, Options{Workers: 1})
+
+	if without.Edges != nil {
+		t.Fatalf("Edges retained despite Options.Edges=false: %d", len(without.Edges))
+	}
+	if with.Transitions != len(with.Edges) {
+		t.Fatalf("Transitions=%d but len(Edges)=%d", with.Transitions, len(with.Edges))
+	}
+	if without.Transitions != with.Transitions {
+		t.Fatalf("transition counts differ: %d vs %d", without.Transitions, with.Transitions)
+	}
+	if without.HonestSends != with.HonestSends {
+		t.Fatalf("honest-send counts differ: %d vs %d", without.HonestSends, with.HonestSends)
+	}
+	if len(without.Nodes) != len(with.Nodes) {
+		t.Fatalf("state counts differ: %d vs %d", len(without.Nodes), len(with.Nodes))
+	}
+	reg := CheckRegularity(without)
+	if !reg.Holds || reg.Detail == "0 honest sends" {
+		t.Fatalf("streaming regularity broken without edges: %+v", reg)
+	}
+}
+
+// TestParallelTraceReproducibility pins that counterexample provenance
+// survives parallelism: a mutation caught by the sequential checker is
+// caught by the parallel one with the IDENTICAL witness trace.
+func TestParallelTraceReproducibility(t *testing.T) {
+	cfg := model.Config{MaxSessions: 2, MaxAdmin: 2, WeakAdminFreshness: true}
+	seqOb := CheckPrefixDelivery(ExploreOpts(cfg, Options{Workers: 1}))
+	parOb := CheckPrefixDelivery(ExploreOpts(cfg, Options{Workers: runtime.GOMAXPROCS(0)}))
+
+	if seqOb.Holds || parOb.Holds {
+		t.Fatalf("WeakAdminFreshness undetected: seq=%t par=%t", seqOb.Holds, parOb.Holds)
+	}
+	if len(seqOb.Witness) == 0 {
+		t.Fatal("sequential counterexample has no trace")
+	}
+	if fmt.Sprint(seqOb.Witness) != fmt.Sprint(parOb.Witness) {
+		t.Fatalf("witness traces differ:\nseq: %v\npar: %v", seqOb.Witness, parOb.Witness)
+	}
+}
+
+// TestRunOptsExtensionsConcurrent checks that Run discharges the extension
+// ablations (failover+lkh, intruder-sessions) alongside the main config and
+// folds their verdicts into AllHold.
+func TestRunOptsExtensionsConcurrent(t *testing.T) {
+	rep := RunOpts(model.Config{MaxSessions: 1, MaxAdmin: 1},
+		model.LegacyConfig{MaxRekeys: 1},
+		Options{Workers: runtime.GOMAXPROCS(0)})
+	if len(rep.Extensions) != 2 {
+		t.Fatalf("want 2 extension ablations, got %d", len(rep.Extensions))
+	}
+	names := map[string]bool{}
+	for _, e := range rep.Extensions {
+		names[e.Name] = true
+		if e.States == 0 || len(e.Obligations) == 0 {
+			t.Fatalf("extension %q explored nothing: %+v", e.Name, e)
+		}
+		for _, o := range e.Obligations {
+			if !o.Holds {
+				t.Fatalf("extension %q violates %s: %s", e.Name, o.ID, o.Detail)
+			}
+		}
+	}
+	if !names["failover+lkh"] || !names["intruder-sessions"] {
+		t.Fatalf("unexpected extension set: %v", names)
+	}
+	if rep.TotalStates() <= rep.States {
+		t.Fatalf("TotalStates %d does not include ablations (main %d)", rep.TotalStates(), rep.States)
+	}
+
+	// A config that already enables an extension must not re-run it.
+	rep = RunOpts(model.Config{MaxSessions: 1, MaxAdmin: 1, Failover: true, LKH: true, IntruderSessions: true},
+		model.LegacyConfig{MaxRekeys: 1}, Options{Workers: 1})
+	if len(rep.Extensions) != 0 {
+		t.Fatalf("fully-enabled config still ran %d ablations", len(rep.Extensions))
+	}
+}

@@ -4,62 +4,186 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"enclaves/internal/model"
 )
 
 // Report bundles a full verification run: the Section 5 obligations over the
-// improved protocol and the Section 2.3 attack findings over the legacy
-// baseline. cmd/verify renders it; EXPERIMENTS.md records it.
+// improved protocol, the concurrently-explored extension ablations, and the
+// Section 2.3 attack findings over the legacy baseline. cmd/verify renders
+// it; EXPERIMENTS.md records it.
 type Report struct {
-	Config   model.Config
-	States   int
+	Config model.Config
+	States int
+	// Edges counts explored transitions. The edge list itself is only
+	// retained when the Figure 4 diagram applies (base configuration).
 	Edges    int
 	Depth    int
 	Improved []Obligation
 	Diagram  *DiagramResult
 
+	// Extensions are the ablation configurations explored concurrently with
+	// the main run: the failover+LKH configuration (making the 5.5 and 5.6
+	// obligations non-vacuous) and the intruder-sessions configuration (the
+	// attacker as a participant), each skipped when the main Config already
+	// enables it.
+	Extensions []ExtensionReport
+
 	LegacyConfig model.LegacyConfig
 	LegacyStates int
 	LegacyDepth  int
 	Legacy       []Obligation
+
+	// Workers is the per-exploration worker bound; Elapsed is the wall time
+	// of the whole run (all explorations overlap).
+	Workers int
+	Elapsed time.Duration
 }
 
-// Run performs the complete verification: explore the improved model, check
-// every invariant and the verification diagram, then explore the legacy
-// model and collect the attacks.
+// ExtensionReport is one ablation configuration verified alongside the main
+// run, without edge retention.
+type ExtensionReport struct {
+	Name        string
+	Config      model.Config
+	States      int
+	Transitions int
+	Depth       int
+	Obligations []Obligation
+}
+
+// Run performs the complete verification with default options: explore the
+// improved model, check every invariant and the verification diagram,
+// explore the extension ablations and the legacy model concurrently, and
+// collect the attacks.
 func Run(cfg model.Config, legacyCfg model.LegacyConfig) *Report {
-	ex := Explore(cfg)
-	rep := &Report{
-		Config:   cfg,
-		States:   len(ex.Nodes),
-		Edges:    len(ex.Edges),
-		Depth:    ex.Depth,
-		Improved: AllInvariants(ex),
+	return RunOpts(cfg, legacyCfg, DefaultOptions())
+}
+
+// RunOpts is Run with explicit exploration options. The improved-model
+// search, the legacy attack search, and the extension ablations all run
+// concurrently; each exploration additionally parallelizes its own BFS
+// levels across opts.Workers workers.
+func RunOpts(cfg model.Config, legacyCfg model.LegacyConfig, opts Options) *Report {
+	start := time.Now()
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
 	}
+	rep := &Report{Config: cfg, LegacyConfig: legacyCfg, Workers: workers}
+
 	// The Figure 4 diagram abstracts the crash-free, flat-keyed protocol;
 	// the failover and LKH extensions add states that intentionally live
 	// outside its boxes, so the diagram obligations only apply to the base
-	// configuration (the extension invariants are discharged above).
-	if !cfg.Failover && !cfg.LKH {
-		rep.Diagram = CheckDiagram(ex)
-		rep.Improved = append(rep.Improved, rep.Diagram.Obligations...)
+	// configuration — and only that configuration needs the edge list.
+	needDiagram := !cfg.Failover && !cfg.LKH
+
+	exts := extensionConfigs(cfg)
+	rep.Extensions = make([]ExtensionReport, len(exts))
+
+	var wg sync.WaitGroup
+	wg.Add(2 + len(exts))
+
+	go func() {
+		defer wg.Done()
+		ex := ExploreOpts(cfg, Options{Workers: workers, Edges: needDiagram})
+		rep.States = len(ex.Nodes)
+		rep.Edges = ex.Transitions
+		rep.Depth = ex.Depth
+		rep.Improved = AllInvariants(ex)
+		if needDiagram {
+			rep.Diagram = CheckDiagram(ex)
+			rep.Improved = append(rep.Improved, rep.Diagram.Obligations...)
+		}
+	}()
+
+	for i, e := range exts {
+		go func(i int, name string, ecfg model.Config) {
+			defer wg.Done()
+			ex := ExploreOpts(ecfg, Options{Workers: workers})
+			rep.Extensions[i] = ExtensionReport{
+				Name:        name,
+				Config:      ecfg,
+				States:      len(ex.Nodes),
+				Transitions: ex.Transitions,
+				Depth:       ex.Depth,
+				Obligations: AllInvariants(ex),
+			}
+		}(i, e.name, e.cfg)
 	}
 
-	lex := ExploreLegacy(legacyCfg)
-	rep.LegacyConfig = legacyCfg
-	rep.LegacyStates = len(lex.Nodes)
-	rep.LegacyDepth = lex.Depth
-	rep.Legacy = LegacyObligations(lex)
+	go func() {
+		defer wg.Done()
+		lex := ExploreLegacy(legacyCfg)
+		rep.LegacyStates = len(lex.Nodes)
+		rep.LegacyDepth = lex.Depth
+		rep.Legacy = LegacyObligations(lex)
+	}()
+
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
 	return rep
 }
 
+type namedConfig struct {
+	name string
+	cfg  model.Config
+}
+
+// extensionConfigs derives the ablation configurations for cfg: the
+// failover+LKH run (5.5 and 5.6 non-vacuous) and the intruder-sessions run,
+// each only when the main configuration doesn't already cover it. Weakness
+// flags carry over so mutation runs stay mutated everywhere.
+func extensionConfigs(cfg model.Config) []namedConfig {
+	var out []namedConfig
+	if !cfg.Failover || !cfg.LKH {
+		e := cfg
+		e.Failover = true
+		e.LKH = true
+		out = append(out, namedConfig{"failover+lkh", e})
+	}
+	if !cfg.IntruderSessions {
+		e := cfg
+		e.IntruderSessions = true
+		out = append(out, namedConfig{"intruder-sessions", e})
+	}
+	return out
+}
+
+// TotalStates is the number of distinct states explored across the improved
+// run and every extension ablation (the legacy search is counted
+// separately, as in the paper).
+func (r *Report) TotalStates() int {
+	total := r.States
+	for _, e := range r.Extensions {
+		total += e.States
+	}
+	return total
+}
+
+// StatesPerSec is the aggregate exploration throughput of the run.
+func (r *Report) StatesPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.TotalStates()) / r.Elapsed.Seconds()
+}
+
 // AllHold reports whether every improved-protocol obligation is discharged
-// and every legacy attack was found.
+// (including over every extension ablation) and every legacy attack was
+// found.
 func (r *Report) AllHold() bool {
 	for _, o := range r.Improved {
 		if !o.Holds {
 			return false
+		}
+	}
+	for _, e := range r.Extensions {
+		for _, o := range e.Obligations {
+			if !o.Holds {
+				return false
+			}
 		}
 	}
 	for _, o := range r.Legacy {
@@ -75,10 +199,24 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Improved Enclaves protocol (Section 3.2) — bounded verification\n")
 	fmt.Fprintf(&b, "  bounds: %d user sessions, %d admin messages/session\n", r.Config.MaxSessions, r.Config.MaxAdmin)
-	fmt.Fprintf(&b, "  reachable states: %d   transitions: %d   max depth: %d\n\n", r.States, r.Edges, r.Depth)
+	fmt.Fprintf(&b, "  reachable states: %d   transitions: %d   max depth: %d\n", r.States, r.Edges, r.Depth)
+	if r.Elapsed > 0 {
+		fmt.Fprintf(&b, "  workers: %d   wall time: %s   throughput: %.0f states/sec (%d states incl. ablations)\n",
+			r.Workers, r.Elapsed.Round(time.Millisecond), r.StatesPerSec(), r.TotalStates())
+	}
+	b.WriteByte('\n')
 	for _, o := range r.Improved {
 		fmt.Fprintln(&b, o)
 	}
+
+	for _, e := range r.Extensions {
+		fmt.Fprintf(&b, "\nAblation %q — states: %d   transitions: %d   depth: %d\n",
+			e.Name, e.States, e.Transitions, e.Depth)
+		for _, o := range e.Obligations {
+			fmt.Fprintln(&b, o)
+		}
+	}
+
 	if r.Diagram != nil {
 		fmt.Fprintf(&b, "\nVerification diagram (Figure 4) — observed box occupancy:\n")
 		ids := make([]string, 0, len(r.Diagram.BoxCounts))

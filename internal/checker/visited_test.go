@@ -1,0 +1,127 @@
+package checker
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestVisitedSetClaimSemantics pins the single-threaded contract: the first
+// claim of a key creates a placeholder (State nil), later claims return the
+// same node, and distinct keys get distinct nodes even when their 64-bit
+// hashes collide within a shard.
+func TestVisitedSetClaimSemantics(t *testing.T) {
+	v := newVisitedSet(1)
+
+	n1, created := v.claim("alpha")
+	if !created || n1 == nil || n1.State != nil {
+		t.Fatalf("first claim: node=%v created=%t", n1, created)
+	}
+	n2, created := v.claim("alpha")
+	if created || n2 != n1 {
+		t.Fatalf("second claim returned created=%t node=%p want %p", created, n2, n1)
+	}
+	n3, created := v.claim("beta")
+	if !created || n3 == n1 {
+		t.Fatal("distinct key did not create a distinct node")
+	}
+	if got := v.len(); got != 2 {
+		t.Fatalf("len=%d want 2", got)
+	}
+}
+
+// TestVisitedSetHashCollision forces two different keys onto the same hash
+// chain by stubbing the shard map directly: entries with equal hashes but
+// different keys must chain, not merge.
+func TestVisitedSetHashCollision(t *testing.T) {
+	v := newVisitedSet(1)
+	// Pre-seed an entry whose recorded hash is the hash of "other" but whose
+	// key differs, simulating a 64-bit collision.
+	h := fnv64a("other")
+	sh := &v.shards[h&v.mask]
+	pre := &Node{}
+	sh.m[h] = &ventry{key: "collider", node: pre}
+
+	n, created := v.claim("other")
+	if !created {
+		t.Fatal("colliding key was merged with a different key")
+	}
+	if n == pre {
+		t.Fatal("claim returned the colliding entry's node")
+	}
+	again, created := v.claim("other")
+	if created || again != n {
+		t.Fatal("collision chain lost the new entry")
+	}
+	// Both entries must still be on the SAME hash chain, keyed apart.
+	found := map[string]*Node{}
+	for e := sh.m[h]; e != nil; e = e.next {
+		found[e.key] = e.node
+	}
+	if found["collider"] != pre || found["other"] != n {
+		t.Fatalf("collision chain corrupted: %v", found)
+	}
+}
+
+// TestVisitedSetConcurrentClaims is the -race stress test of the sharded
+// seen-set: many goroutines hammer a mix of shared and private keys;
+// exactly one claim per key may report created=true, and every claimant of
+// a key must observe the same node pointer.
+func TestVisitedSetConcurrentClaims(t *testing.T) {
+	const (
+		goroutines = 8
+		sharedKeys = 64
+		rounds     = 200
+	)
+	v := newVisitedSet(goroutines)
+
+	var wg sync.WaitGroup
+	createdBy := make([][]int, goroutines) // per-goroutine created counts per shared key
+	nodes := make([][]*Node, goroutines)
+	for g := 0; g < goroutines; g++ {
+		createdBy[g] = make([]int, sharedKeys)
+		nodes[g] = make([]*Node, sharedKeys)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for k := 0; k < sharedKeys; k++ {
+					key := fmt.Sprintf("shared-%d", k)
+					n, created := v.claim(key)
+					if created {
+						createdBy[g][k]++
+					}
+					if nodes[g][k] == nil {
+						nodes[g][k] = n
+					} else if nodes[g][k] != n {
+						panic("claim returned different nodes for one key")
+					}
+				}
+				// Private keys add churn on every shard.
+				if _, created := v.claim(fmt.Sprintf("private-%d-%d", g, r)); !created {
+					panic("private key already claimed")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for k := 0; k < sharedKeys; k++ {
+		total := 0
+		var node *Node
+		for g := 0; g < goroutines; g++ {
+			total += createdBy[g][k]
+			if node == nil {
+				node = nodes[g][k]
+			} else if nodes[g][k] != node {
+				t.Fatalf("key %d: goroutines observed different nodes", k)
+			}
+		}
+		if total != 1 {
+			t.Fatalf("key %d created %d times, want exactly 1", k, total)
+		}
+	}
+	if want := sharedKeys + goroutines*rounds; v.len() != want {
+		t.Fatalf("len=%d want %d", v.len(), want)
+	}
+}

@@ -1,0 +1,162 @@
+package model
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the symmetry reduction of the improved-model state
+// keys: honest fresh-value identifiers are interchangeable, so states that
+// differ only in WHICH counter value a nonce or session key drew are
+// isomorphic and must collapse to one visited-set entry.
+//
+// Where the symmetry comes from: honest fresh values are drawn from
+// counters, so the identifier a value receives depends on the global
+// interleaving, not on the protocol logic. Two independent allocation
+// sites racing — e.g. A starting its next join while L replies to a stale
+// replayed AuthInitReq — produce the same pair of states with the two
+// nonce identifiers swapped. No guard ever inspects an identifier (all
+// comparisons are equality of whole fields), so the permuted states are
+// bisimilar and checking one representative is sound.
+//
+// The canonical form renames identifiers by order of first occurrence in
+// the serialized key. The renaming is a kind-preserving bijection applied
+// independently to four disjoint id spaces — honest nonces, honest session
+// keys, E-session nonces and E-session keys (the eRangeBase split) — and
+// leaves the intruder's pre-seeded pool (negative identifiers) fixed.
+// Because every allocated identifier occurs in the trace (honest fresh
+// values are always emitted immediately), the occurring ids are exactly
+// {0..Ctr-1} per space, so the renaming permutes each space onto itself
+// and the allocation counters — serialized verbatim in the key tail —
+// remain consistent: if two states produce the same canonical key they are
+// related by such a permutation, agree on every bound and counter, and
+// have permutation-isomorphic successor sets and invariant verdicts.
+
+// idRenaming assigns canonical identifiers in first-occurrence order,
+// separately per id space.
+type idRenaming struct {
+	m    map[int]int
+	next int
+	base int // 0 for the honest range, eRangeBase for E-session values
+}
+
+func (r *idRenaming) canonical(id int) int {
+	if r.m == nil {
+		r.m = make(map[int]int, 8)
+	}
+	c, ok := r.m[id]
+	if !ok {
+		c = r.base + r.next
+		r.next++
+		r.m[id] = c
+	}
+	return c
+}
+
+// canonicalizeKey rewrites every honest nonce ("n:<id>") and session-key
+// ("K:<id>") token of a raw state key to its first-occurrence identifier,
+// then re-sorts the trace section (a set serialized as a sorted join, whose
+// order the renaming can disturb) and repeats until the key is stable. Each
+// pass applies a bijective per-space renaming and re-sorts a set section,
+// so every intermediate — and in particular the returned string — denotes a
+// state isomorphic to the input: equal outputs always imply isomorphic
+// states. The iteration cap only bounds how many permuted variants are
+// GUARANTEED to collapse; in this model the loop reaches its fixpoint in
+// one or two passes.
+func canonicalizeKey(raw string) string {
+	s := raw
+	for i := 0; i < 4; i++ {
+		next := resortNetSection(renameIDs(s))
+		if next == s {
+			break
+		}
+		s = next
+	}
+	return s
+}
+
+// renameIDs performs one renaming pass over a serialized key. Tokens are
+// recognized by their canon prefix at a non-identifier boundary, which
+// cannot occur inside any other canon form (agents are "a:", long-term
+// keys "P:", data atoms "d:", and no generated data label contains a
+// colon). Negative identifiers (the intruder's pre-seeded pool) are fixed
+// points of the renaming and pass through untouched.
+func renameIDs(raw string) string {
+	var honestNonce, honestKey idRenaming
+	eNonce := idRenaming{base: eRangeBase}
+	eKey := idRenaming{base: eRangeBase}
+
+	out := make([]byte, 0, len(raw))
+	for i := 0; i < len(raw); {
+		c := raw[i]
+		if (c == 'n' || c == 'K') && i+1 < len(raw) && raw[i+1] == ':' &&
+			(i == 0 || !isIdentByte(raw[i-1])) {
+			j := i + 2
+			k := j
+			for k < len(raw) && raw[k] >= '0' && raw[k] <= '9' {
+				k++
+			}
+			if k > j { // non-negative identifier: rename within its space
+				id, _ := strconv.Atoi(raw[j:k])
+				var r *idRenaming
+				switch {
+				case c == 'n' && id < eRangeBase:
+					r = &honestNonce
+				case c == 'n':
+					r = &eNonce
+				case id < eRangeBase:
+					r = &honestKey
+				default:
+					r = &eKey
+				}
+				out = append(out, c, ':')
+				out = strconv.AppendInt(out, int64(r.canonical(id)), 10)
+				i = k
+				continue
+			}
+		}
+		out = append(out, c)
+		i++
+	}
+	return string(out)
+}
+
+// isIdentByte reports whether b can be part of an identifier or number, i.e.
+// whether a following "n:"/"K:" could be the tail of a longer word rather
+// than a canon token boundary.
+func isIdentByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+}
+
+// resortNetSection re-sorts the trace section of a serialized key — the
+// third '#'-separated section, a '|'-joined set of message keys ('|' and
+// '#' never occur inside a message canon). State.Key sorts it by RAW
+// message keys; after renaming, the canonical-space order may differ, so
+// the section must be re-sorted for permuted states to line up. Keys with
+// fewer than three sections (unit-test fragments) pass through untouched.
+func resortNetSection(key string) string {
+	start := 0
+	for i := 0; i < 2; i++ {
+		j := strings.IndexByte(key[start:], '#')
+		if j < 0 {
+			return key
+		}
+		start += j + 1
+	}
+	end := strings.IndexByte(key[start:], '#')
+	if end < 0 {
+		return key
+	}
+	end += start
+	section := key[start:end]
+	if !strings.Contains(section, "|") {
+		return key
+	}
+	parts := strings.Split(section, "|")
+	if sort.StringsAreSorted(parts) {
+		return key
+	}
+	sort.Strings(parts)
+	return key[:start] + strings.Join(parts, "|") + key[end:]
+}

@@ -1,0 +1,124 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"enclaves/internal/symbolic"
+)
+
+// TestCanonicalizeKeyRenamesByFirstOccurrence pins the core renaming: ids
+// are rewritten in order of first appearance, separately per id space.
+func TestCanonicalizeKeyRenamesByFirstOccurrence(t *testing.T) {
+	cases := []struct{ raw, want string }{
+		// Swapped honest nonces collapse to the same canonical form.
+		{"n:1|n:0#K:0", "n:0|n:1#K:0"},
+		{"n:0|n:1#K:0", "n:0|n:1#K:0"},
+		// Nonce and key spaces rename independently.
+		{"n:3#K:2#n:3#K:7", "n:0#K:0#n:0#K:1"},
+		// Negative (intruder pool) identifiers are fixed points.
+		{"n:-1#n:5#K:-1", "n:-1#n:0#K:-1"},
+		// E-range ids (>= eRangeBase) rename within their own range.
+		{"n:1048577#n:1048576#n:1", "n:1048576#n:1048577#n:0"},
+		{"K:1048580#K:0", "K:1048576#K:0"},
+		// Tokens inside a word are not canon boundaries.
+		{"NotConnected:5", "NotConnected:5"},
+		// Agent and long-term-key canons pass through untouched.
+		{"a:A,P:E,d:evil", "a:A,P:E,d:evil"},
+	}
+	for _, c := range cases {
+		if got := canonicalizeKey(c.raw); got != c.want {
+			t.Errorf("canonicalizeKey(%q) = %q, want %q", c.raw, got, c.want)
+		}
+	}
+}
+
+// TestIsomorphicStatesCollapse builds two states that differ only in which
+// counter value each fresh nonce drew — the allocation race the symmetry
+// reduction exists for — and checks they share one canonical key.
+func TestIsomorphicStatesCollapse(t *testing.T) {
+	build := func(na, nl int) *State {
+		s := NewInitialState()
+		s.Usr = UserState{Phase: UserWaitingForKey, Na: symbolic.Nonce(na)}
+		s.Lead = LeaderState{Phase: LeadWaitingForKeyAck, N: symbolic.Nonce(nl), Ka: symbolic.SessionKey(0)}
+		s.record(Msg{Label: LabelAuthInitReq, Content: symbolic.Pair(symbolic.Agent(AgentUser), symbolic.Nonce(na))})
+		s.record(Msg{Label: LabelAuthInitReq, Content: symbolic.Pair(symbolic.Agent(AgentUser), symbolic.Nonce(nl))})
+		s.NonceCtr = 2
+		s.KeyCtr = 1
+		s.Sessions = 1
+		s.ReqA = 2
+		return s
+	}
+	a := build(0, 1)
+	b := build(1, 0)
+	if a.Key() != b.Key() {
+		t.Fatalf("isomorphic states have distinct keys:\n a=%s\n b=%s", a.Key(), b.Key())
+	}
+}
+
+// TestDistinctStatesKeepDistinctKeys guards against over-collapse: states
+// that differ in structure (not just id assignment) must not merge.
+func TestDistinctStatesKeepDistinctKeys(t *testing.T) {
+	base := NewInitialState()
+	base.Usr = UserState{Phase: UserWaitingForKey, Na: symbolic.Nonce(0)}
+	base.NonceCtr = 1
+
+	other := base.Clone()
+	other.Usr.Phase = UserConnected
+	other.Usr.Ka = symbolic.SessionKey(0)
+	other.KeyCtr = 1
+
+	if base.Key() == other.Key() {
+		t.Fatal("structurally distinct states collapsed to one key")
+	}
+
+	// Same structure but different counter tails stay distinct too: the
+	// renaming never touches the verbatim counter section.
+	more := base.Clone()
+	more.NonceCtr = 2
+	if base.Key() == more.Key() {
+		t.Fatal("states with different allocation counters collapsed")
+	}
+}
+
+// TestKeyMemoization pins the satellite: repeated Key() calls return the
+// cached string, and Clone starts with a cold cache so mutated copies
+// re-serialize.
+func TestKeyMemoization(t *testing.T) {
+	s := NewInitialState()
+	s.Usr = UserState{Phase: UserWaitingForKey, Na: symbolic.Nonce(0)}
+	s.NonceCtr = 1
+
+	k1 := s.Key()
+	k2 := s.Key()
+	if k1 != k2 {
+		t.Fatalf("memoized Key changed: %q vs %q", k1, k2)
+	}
+	if s.key == "" {
+		t.Fatal("Key() did not populate the cache field")
+	}
+
+	c := s.Clone()
+	if c.key != "" {
+		t.Fatal("Clone copied the key cache; mutations would go unnoticed")
+	}
+	c.Usr.Phase = UserConnected
+	c.Usr.Ka = symbolic.SessionKey(0)
+	c.KeyCtr = 1
+	if c.Key() == k1 {
+		t.Fatal("mutated clone kept the parent's key")
+	}
+	if s.Key() != k1 {
+		t.Fatal("parent key changed after cloning")
+	}
+}
+
+// TestCanonicalKeyDropsNoSections makes sure canonicalization preserves the
+// section structure of the raw key (it only rewrites id digits).
+func TestCanonicalKeyDropsNoSections(t *testing.T) {
+	s := NewInitialState()
+	key := s.Key()
+	if n := strings.Count(key, "#"); n < 7 {
+		t.Fatalf("canonical key has %d section separators, want >= 7: %q", n, key)
+	}
+}

@@ -295,6 +295,11 @@ type State struct {
 
 	// Oopsed records session keys that have been released by Oops events.
 	Oopsed symbolic.Set
+
+	// key caches the canonical Key(). States are only hashed after their
+	// deriving transition has finished mutating them, so the first Key()
+	// call memoizes safely; Clone leaves the cache empty on the copy.
+	key string
 }
 
 // NewInitialState returns q0: both A and L not connected, empty trace, and
@@ -434,19 +439,36 @@ func (s *State) Messages() []Msg {
 
 // Key returns a canonical hash key identifying the state for the visited
 // set. IK is derivable from the trace and initial knowledge, so it is not
-// part of the key.
+// part of the key; Oopsed likewise (every Oops is a trace message). Honest
+// fresh-value identifiers are renamed to first-occurrence order (see
+// canonicalizeKey), so permuted-but-isomorphic states share one key. The
+// result is memoized: the checker hashes each state at discovery and again
+// for collision confirmation, and the builders below are the hot loop's
+// dominant allocation without the cache.
 func (s *State) Key() string {
+	if s.key != "" {
+		return s.key
+	}
+	keys := make([]string, 0, len(s.Net))
+	size := 0
+	for k := range s.Net {
+		keys = append(keys, k)
+		size += len(k) + 1
+	}
+	sort.Strings(keys)
+
 	var b strings.Builder
+	b.Grow(size + 24*(len(s.SndA)+len(s.RcvA)) + 160)
 	b.WriteString(s.Usr.key())
 	b.WriteByte('#')
 	b.WriteString(s.Lead.key())
 	b.WriteByte('#')
-	keys := make([]string, 0, len(s.Net))
-	for k := range s.Net {
-		keys = append(keys, k)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(k)
 	}
-	sort.Strings(keys)
-	b.WriteString(strings.Join(keys, "|"))
 	b.WriteByte('#')
 	for _, f := range s.SndA {
 		b.WriteString(f.Canon())
@@ -461,7 +483,8 @@ func (s *State) Key() string {
 	fmt.Fprintf(&b, "#%d/%d", s.Failovers, s.ResumesStarted)
 	fmt.Fprintf(&b, "#%s/%t/%t", canonOrDash(s.TK), s.TKSent, s.TKDirty)
 	fmt.Fprintf(&b, "#%s/%d/%d/%d/%d/%d", s.LeadE.key(), s.ESessions, s.AdminSentE, s.EEngagements, s.ENonceCtr, s.EKeyCtr)
-	return b.String()
+	s.key = canonicalizeKey(b.String())
+	return s.key
 }
 
 func (s *State) String() string {
