@@ -1,14 +1,22 @@
 // Command enclavelint runs the protocol-invariant analyzers over the
 // module: the code-level analogues of the paper's machine-checked secrecy
-// invariants (never seal under a protocol lock, cached AEADs on hot paths,
-// crypto/rand only, exhaustive wire-type handling, no key bytes in logs).
+// invariants. Generation 1 checks single functions (never seal under a
+// protocol lock, cached AEADs on hot paths, crypto/rand only, exhaustive
+// wire-type handling, no key bytes in logs); generation 2 adds the
+// interprocedural passes (keytaint, noncereuse, lockorder) that follow
+// those invariants across call edges.
 //
 // Usage:
 //
-//	go run ./cmd/enclavelint [-json|-github] [packages]
+//	go run ./cmd/enclavelint [-json|-github] [-sarif file] [-findings file] [-bench file] [packages]
 //
 // Packages default to ./... and support the same /... suffix as the go
-// tool. Exit status: 0 clean, 1 findings, 2 load/usage error.
+// tool. The file flags write machine-readable artifacts alongside whatever
+// stdout format is selected, so one gating CI run produces annotations and
+// archives: -sarif a SARIF 2.1.0 log, -findings the same JSON array -json
+// prints, -bench a wall-time profile (per package per analyzer, module
+// analyzers module-wide). Exit status: 0 clean, 1 findings, 2 load/usage
+// error.
 package main
 
 import (
@@ -18,6 +26,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	"enclaves/internal/analyzers"
 )
@@ -31,6 +41,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	github := fs.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
+	sarifPath := fs.String("sarif", "", "also write findings as SARIF 2.1.0 to `file`")
+	findingsPath := fs.String("findings", "", "also write findings as a JSON array to `file`")
+	benchPath := fs.String("bench", "", "also write a per-analyzer wall-time profile to `file`")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -38,14 +51,36 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	loadStart := time.Now()
 	units, err := analyzers.Load(patterns)
 	if err != nil {
 		fmt.Fprintf(stderr, "enclavelint: %v\n", err)
 		return 2
 	}
-	diags := analyzers.Check(units)
+	loadMS := float64(time.Since(loadStart).Microseconds()) / 1e3
+	checkStart := time.Now()
+	diags, timings := analyzers.CheckTimed(units)
+	checkMS := float64(time.Since(checkStart).Microseconds()) / 1e3
 	cwd, _ := os.Getwd()
 	emit(diags, *jsonOut, *github, cwd, stdout)
+	if *sarifPath != "" {
+		if err := writeSARIF(*sarifPath, diags, cwd); err != nil {
+			fmt.Fprintf(stderr, "enclavelint: writing sarif: %v\n", err)
+			return 2
+		}
+	}
+	if *findingsPath != "" {
+		if err := writeJSON(*findingsPath, jsonFindings(diags, cwd)); err != nil {
+			fmt.Fprintf(stderr, "enclavelint: writing findings: %v\n", err)
+			return 2
+		}
+	}
+	if *benchPath != "" {
+		if err := writeBench(*benchPath, timings, len(units), len(diags), loadMS, checkMS); err != nil {
+			fmt.Fprintf(stderr, "enclavelint: writing bench: %v\n", err)
+			return 2
+		}
+	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "enclavelint: %d finding(s)\n", len(diags))
 		return 1
@@ -53,31 +88,40 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// finding is the JSON shape of one diagnostic, shared by -json stdout
+// output and the -findings artifact.
+type finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// jsonFindings converts diagnostics to their JSON shape with cwd-relative
+// paths. Always non-nil so a clean run serializes as [] rather than null.
+func jsonFindings(diags []analyzers.Diagnostic, cwd string) []finding {
+	out := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, finding{
+			Analyzer: d.Analyzer,
+			File:     relPath(cwd, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	return out
+}
+
 // emit renders findings in the selected format: plain file:line:col lines,
 // a JSON array, or GitHub Actions ::error annotations.
 func emit(diags []analyzers.Diagnostic, jsonOut, github bool, cwd string, stdout io.Writer) {
 	switch {
 	case jsonOut:
-		type finding struct {
-			Analyzer string `json:"analyzer"`
-			File     string `json:"file"`
-			Line     int    `json:"line"`
-			Col      int    `json:"col"`
-			Message  string `json:"message"`
-		}
-		out := make([]finding, 0, len(diags))
-		for _, d := range diags {
-			out = append(out, finding{
-				Analyzer: d.Analyzer,
-				File:     relPath(cwd, d.Pos.Filename),
-				Line:     d.Pos.Line,
-				Col:      d.Pos.Column,
-				Message:  d.Message,
-			})
-		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		enc.Encode(out)
+		enc.Encode(jsonFindings(diags, cwd))
 	case github:
 		for _, d := range diags {
 			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d,title=enclavelint/%s::%s\n",
@@ -91,8 +135,147 @@ func emit(diags []analyzers.Diagnostic, jsonOut, github bool, cwd string, stdout
 	}
 }
 
-// relPath makes file paths cwd-relative so editor links and GitHub
-// annotations resolve.
+// SARIF 2.1.0 structures — only the subset code-scanning consumers read.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID        string    `json:"id"`
+	ShortDesc sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	Physical sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	Artifact sarifArtifact `json:"artifactLocation"`
+	Region   sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// writeSARIF renders the findings as a SARIF 2.1.0 log: one run, one rule
+// per registered analyzer (so clean runs still publish the rule set), one
+// error-level result per finding.
+func writeSARIF(path string, diags []analyzers.Diagnostic, cwd string) error {
+	var rules []sarifRule
+	for _, a := range analyzers.All() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDesc: sarifText{Text: firstLine(a.Doc)}})
+	}
+	for _, a := range analyzers.AllModule() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDesc: sarifText{Text: firstLine(a.Doc)}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{Physical: sarifPhysical{
+				Artifact: sarifArtifact{URI: relPath(cwd, d.Pos.Filename)},
+				Region:   sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "enclavelint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return writeJSON(path, log)
+}
+
+// writeBench renders the wall-time profile CI archives next to the runtime
+// benchmark snapshots.
+func writeBench(path string, timings []analyzers.Timing, packages, findings int, loadMS, checkMS float64) error {
+	out := struct {
+		Go         string             `json:"go"`
+		GOMAXPROCS int                `json:"gomaxprocs"`
+		Packages   int                `json:"packages"`
+		Findings   int                `json:"findings"`
+		LoadMS     float64            `json:"load_ms"`
+		CheckMS    float64            `json:"check_ms"`
+		TotalMS    float64            `json:"total_ms"`
+		Analyzers  []analyzers.Timing `json:"analyzers"`
+	}{
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Packages:   packages,
+		Findings:   findings,
+		LoadMS:     loadMS,
+		CheckMS:    checkMS,
+		TotalMS:    loadMS + checkMS,
+		Analyzers:  timings,
+	}
+	return writeJSON(path, out)
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// firstLine trims an analyzer doc to its first sentence-ish line for the
+// SARIF rule table.
+func firstLine(doc string) string {
+	for i := 0; i < len(doc); i++ {
+		if doc[i] == '\n' {
+			return doc[:i]
+		}
+	}
+	return doc
+}
+
+// relPath makes file paths cwd-relative so editor links, GitHub
+// annotations, and SARIF artifact URIs resolve.
 func relPath(cwd, path string) string {
 	if cwd == "" {
 		return path

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"go/token"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -12,11 +13,15 @@ import (
 
 // TestRunCleanTree is the end-to-end gate test: the driver itself (flag
 // parsing, loading, scoping, exit code) must report the repo clean, because
-// CI runs exactly this.
+// CI runs exactly this — including the SARIF and bench artifacts the CI job
+// archives.
 func TestRunCleanTree(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module from source")
 	}
+	sarifPath := filepath.Join(t.TempDir(), "lint.sarif")
+	findingsPath := filepath.Join(t.TempDir(), "lint-findings.json")
+	benchPath := filepath.Join(t.TempDir(), "BENCH_lint.json")
 	cwd, err := os.Getwd()
 	if err != nil {
 		t.Fatal(err)
@@ -27,11 +32,95 @@ func TestRunCleanTree(t *testing.T) {
 	defer os.Chdir(cwd)
 
 	var out, errOut strings.Builder
-	if code := run([]string{"./..."}, &out, &errOut); code != 0 {
+	if code := run([]string{"-sarif", sarifPath, "-findings", findingsPath, "-bench", benchPath, "./..."}, &out, &errOut); code != 0 {
 		t.Fatalf("run(./...) = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
 	}
 	if out.String() != "" {
 		t.Errorf("clean tree produced output:\n%s", out.String())
+	}
+
+	// The SARIF log must carry the full rule set even on a clean run, and
+	// zero results.
+	raw, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatalf("sarif artifact not written: %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string           `json:"name"`
+					Rules []map[string]any `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &log); err != nil {
+		t.Fatalf("sarif is not JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "enclavelint" {
+		t.Errorf("malformed sarif header: %s", raw)
+	}
+	wantRules := len(analyzers.All()) + len(analyzers.AllModule())
+	if got := len(log.Runs[0].Tool.Driver.Rules); got != wantRules {
+		t.Errorf("sarif carries %d rules, want %d", got, wantRules)
+	}
+	if len(log.Runs[0].Results) != 0 {
+		t.Errorf("clean tree produced sarif results: %s", raw)
+	}
+
+	// The findings artifact must be an empty array, not null.
+	raw, err = os.ReadFile(findingsPath)
+	if err != nil {
+		t.Fatalf("findings artifact not written: %v", err)
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal(raw, &findings); err != nil {
+		t.Fatalf("findings is not JSON: %v", err)
+	}
+	if strings.TrimSpace(string(raw)) == "null" || len(findings) != 0 {
+		t.Errorf("clean tree findings artifact: %s", raw)
+	}
+
+	// The bench profile must time every module analyzer and at least one
+	// unit-analyzer package.
+	raw, err = os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatalf("bench artifact not written: %v", err)
+	}
+	var bench struct {
+		Go        string  `json:"go"`
+		TotalMS   float64 `json:"total_ms"`
+		Analyzers []struct {
+			Analyzer string  `json:"analyzer"`
+			Package  string  `json:"package"`
+			Millis   float64 `json:"ms"`
+		} `json:"analyzers"`
+	}
+	if err := json.Unmarshal(raw, &bench); err != nil {
+		t.Fatalf("bench is not JSON: %v", err)
+	}
+	if bench.Go == "" || bench.TotalMS <= 0 {
+		t.Errorf("bench missing go version or total time: %s", raw)
+	}
+	moduleWide := map[string]bool{}
+	perPackage := 0
+	for _, e := range bench.Analyzers {
+		if e.Package == "module" {
+			moduleWide[e.Analyzer] = true
+		} else {
+			perPackage++
+		}
+	}
+	for _, a := range analyzers.AllModule() {
+		if !moduleWide[a.Name] {
+			t.Errorf("bench profile is missing module analyzer %s", a.Name)
+		}
+	}
+	if perPackage == 0 {
+		t.Error("bench profile has no per-package unit-analyzer entries")
 	}
 }
 
@@ -58,6 +147,55 @@ func sampleDiags() []analyzers.Diagnostic {
 		Pos:      token.Position{Filename: "/repo/internal/group/group.go", Line: 42, Column: 7},
 		Message:  "AEAD Cipher.Seal while holding l.mu",
 	}}
+}
+
+// TestWriteSARIFFindings checks the result rendering path the clean-tree
+// test cannot reach: a finding must become an error-level result with a
+// relative URI and 1-based region.
+func TestWriteSARIFFindings(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.sarif")
+	if err := writeSARIF(path, sampleDiags(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Runs []struct {
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					Physical struct {
+						Artifact struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &log); err != nil {
+		t.Fatalf("sarif is not JSON: %v", err)
+	}
+	if len(log.Runs) != 1 || len(log.Runs[0].Results) != 1 {
+		t.Fatalf("want exactly one result: %s", raw)
+	}
+	r := log.Runs[0].Results[0]
+	loc := r.Locations[0].Physical
+	if r.RuleID != "sealunderlock" || r.Level != "error" ||
+		loc.Artifact.URI != "internal/group/group.go" ||
+		loc.Region.StartLine != 42 || loc.Region.StartColumn != 7 {
+		t.Errorf("unexpected sarif result: %s", raw)
+	}
 }
 
 func TestEmitGitHubAnnotations(t *testing.T) {

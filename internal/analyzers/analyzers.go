@@ -18,6 +18,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer is one named invariant check. Run inspects a single
@@ -127,15 +128,24 @@ func parseIgnores(fset *token.FileSet, f *ast.File) ([]ignoreDirective, []Diagno
 // suppressed reports whether d is covered by a well-formed ignore directive
 // on the same line or the line above.
 func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
-	for _, dir := range dirs {
+	return suppressedBy(d, dirs) >= 0
+}
+
+// suppressedBy returns the index of the first directive covering d (same
+// file, matching analyzer, same line or the line above), or -1. The index
+// lets Check track which directives actually suppress something, so a stale
+// exemption — its finding fixed, or its analyzer renamed — is itself
+// reported instead of rotting silently.
+func suppressedBy(d Diagnostic, dirs []ignoreDirective) int {
+	for i, dir := range dirs {
 		if dir.file != d.Pos.Filename || !dir.analyzers[d.Analyzer] {
 			continue
 		}
 		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
-			return true
+			return i
 		}
 	}
-	return false
+	return -1
 }
 
 // RunAnalyzer applies one analyzer to one unit, filters findings through the
@@ -153,21 +163,145 @@ func RunAnalyzer(a *Analyzer, u *Unit) []Diagnostic {
 	return out
 }
 
-// Check runs every registered analyzer over every unit it is scoped to and
-// returns the combined findings, including malformed-directive reports.
+// A Timing records wall time one analyzer spent on one scope: a single
+// package for unit analyzers, the whole module for the interprocedural
+// analyzers (whose fixpoint cannot be attributed to any one package).
+type Timing struct {
+	Analyzer string  `json:"analyzer"`
+	Package  string  `json:"package"` // import path, or "module" for module-wide passes
+	Millis   float64 `json:"ms"`
+}
+
+// Check runs every registered analyzer — per-unit and module-wide — over
+// the units each is scoped to and returns the combined findings, including
+// malformed-directive reports and stale-suppression reports (a directive
+// that suppressed nothing across the whole run has lost its reason to
+// exist: its finding was fixed, or its analyzer was renamed).
 func Check(units []*Unit) []Diagnostic {
+	diags, _ := CheckTimed(units)
+	return diags
+}
+
+// CheckTimed is Check plus a per-(analyzer, package) wall-time profile, for
+// the CI-archived lint benchmark artifact.
+func CheckTimed(units []*Unit) ([]Diagnostic, []Timing) {
+	mod := BuildModule(units)
+	used := make([]bool, len(mod.ignores))
+	// dirBase[i] is the offset of units[i]'s directives inside mod.ignores,
+	// so unit-analyzer suppressions mark liveness in the shared table.
+	dirBase := make([]int, len(units))
+	off := 0
+	for i, u := range units {
+		dirBase[i] = off
+		off += len(u.ignores)
+	}
+
 	var out []Diagnostic
-	for _, u := range units {
+	var timings []Timing
+	for i, u := range units {
 		out = append(out, u.badIgnores...)
 		for _, sa := range Registry() {
 			if !sa.Applies(u.Path) {
 				continue
 			}
-			out = append(out, RunAnalyzer(sa.Analyzer, u)...)
+			// External test packages share the import path of the package
+			// under test; suffix their timing label so the profile stays
+			// one row per (analyzer, compilation unit).
+			pkgLabel := u.Path
+			if strings.HasSuffix(u.Name, "_test") {
+				pkgLabel += " [" + u.Name + "]"
+			}
+			var raw []Diagnostic
+			start := time.Now()
+			sa.Analyzer.Run(&Pass{Analyzer: sa.Analyzer, Unit: u, diags: &raw})
+			timings = append(timings, Timing{
+				Analyzer: sa.Name,
+				Package:  pkgLabel,
+				Millis:   float64(time.Since(start).Microseconds()) / 1e3,
+			})
+			for _, d := range raw {
+				if j := suppressedBy(d, u.ignores); j >= 0 {
+					used[dirBase[i]+j] = true
+				} else {
+					out = append(out, d)
+				}
+			}
 		}
 	}
+	for _, sa := range ModuleRegistry() {
+		var raw []Diagnostic
+		start := time.Now()
+		sa.Run(&ModulePass{Analyzer: sa.ModuleAnalyzer, Module: mod, diags: &raw})
+		timings = append(timings, Timing{
+			Analyzer: sa.Name,
+			Package:  "module",
+			Millis:   float64(time.Since(start).Microseconds()) / 1e3,
+		})
+		for _, d := range raw {
+			if !sa.Applies(mod.PathOfFile(d.Pos.Filename)) {
+				continue
+			}
+			if j := suppressedBy(d, mod.ignores); j >= 0 {
+				used[j] = true
+			} else {
+				out = append(out, d)
+			}
+		}
+	}
+	out = append(out, staleDirectives(mod, used)...)
 	sortDiagnostics(out)
+	return out, timings
+}
+
+// staleDirectives reports well-formed ignore directives that earned no keep:
+// ones naming analyzers that do not exist (renamed or typoed), and ones that
+// suppressed no diagnostic in this run (the finding was fixed).
+func staleDirectives(mod *Module, used []bool) []Diagnostic {
+	known := map[string]bool{}
+	for _, sa := range Registry() {
+		known[sa.Name] = true
+	}
+	for _, sa := range ModuleRegistry() {
+		known[sa.Name] = true
+	}
+	var out []Diagnostic
+	for i, dir := range mod.ignores {
+		var unknown []string
+		for name := range dir.analyzers {
+			if !known[name] {
+				unknown = append(unknown, name)
+			}
+		}
+		sort.Strings(unknown)
+		pos := token.Position{Filename: dir.file, Line: dir.line}
+		if p := mod.Fset; p != nil {
+			pos = p.Position(dir.pos)
+		}
+		switch {
+		case len(unknown) > 0:
+			out = append(out, Diagnostic{
+				Analyzer: badDirectiveAnalyzer,
+				Pos:      pos,
+				Message:  fmt.Sprintf("ignore directive names unknown analyzer(s) %s: renamed or never existed; fix or delete the exemption", strings.Join(unknown, ", ")),
+			})
+		case !used[i]:
+			out = append(out, Diagnostic{
+				Analyzer: badDirectiveAnalyzer,
+				Pos:      pos,
+				Message:  fmt.Sprintf("stale ignore directive: no %s diagnostic is suppressed here anymore; the finding was fixed or moved — delete the exemption", analyzerList(dir.analyzers)),
+			})
+		}
+	}
 	return out
+}
+
+func analyzerList(names map[string]bool) string {
+	out := make([]string, 0, len(names))
+	for n := range names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
 }
 
 func sortDiagnostics(ds []Diagnostic) {

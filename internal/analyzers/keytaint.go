@@ -1,0 +1,38 @@
+package analyzers
+
+// KeyTaint is the interprocedural successor to keyhygiene: where keyhygiene
+// pins the single-function cases (raw Key.Bytes() or a key-named byte slice
+// passed straight to a log call), keytaint follows key-derived bytes through
+// any chain of module-internal calls — helper wrappers, struct-building
+// marshal methods, value plumbing through returns and slices — and reports
+// when they reach an observable channel:
+//
+//   - logging sinks (fmt/log/slog, printf-shaped helpers) and metrics;
+//   - error values (fmt.Errorf via the fmt sink, errors.New explicitly) —
+//     errors escape into logs and API responses;
+//   - audit/metrics *Event struct literals (exported and retained);
+//   - unsealed wire frames: bytes stored into a wire.Envelope Payload that
+//     are key-derived and did not pass through an AEAD Seal.
+//
+// Sources are crypto.Key.Bytes(), byte sequences named like key material
+// ("key", "secret", "password"), and anything a function summary proves is
+// derived from them — which is how the LKH node keys, the replication key
+// K_r material, and config secrets are all covered without per-package
+// special cases: their bytes only ever appear via Key.Bytes() or key-named
+// values, and the summaries carry the taint from there. Hashing and AEAD
+// sealing sanitize (external callees are clean by default); encodings,
+// formatting, append/copy, and string conversion propagate.
+//
+// Division of labor: a tainted argument that is *directly* key material by
+// keyhygiene's syntactic definition is keyhygiene's finding and skipped
+// here, so the two analyzers partition the space instead of double
+// reporting. See taint.go for the engine.
+var KeyTaint = &ModuleAnalyzer{
+	Name: "keytaint",
+	Doc:  "forbid key-derived bytes from reaching logs, errors, metrics, audit events, or unsealed wire frames across function boundaries",
+	Run:  runKeyTaint,
+}
+
+func runKeyTaint(p *ModulePass) {
+	newTaintEngine(p.Module).run(p)
+}

@@ -1,0 +1,614 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder machine-checks the documented lock hierarchy. internal/group's
+// concurrency comment declares the acquisition order
+//
+//	//enclavelint:lockorder Leader.mu < stripe < memberConn.mu
+//
+// and every deadlock the model checker ever found in this codebase was an
+// inversion of exactly that kind of edge: thread 1 takes Leader.mu then a
+// registry stripe, thread 2 takes the stripe then blocks on Leader.mu. The
+// analyzer derives the hierarchy from the annotations, tracks held locks
+// through each function body (defer Unlock keeps a lock held; goroutine
+// bodies start lock-free), and reports:
+//
+//   - a direct inversion: acquiring a class the declared order says must
+//     come before one already held;
+//   - the same inversion through a call chain: a callee whose summary says
+//     it (transitively) acquires an earlier class, called under a later one;
+//   - a same-path re-acquire of one lock expression (sync.Mutex
+//     self-deadlocks).
+//
+// Lock classes are named Type.mutexField for mutex fields ("Leader.mu") and
+// bare Type for lock-wrapper types that declare their own Lock/Unlock
+// ("stripe"); a wrapper's inner mutex canonicalizes to the wrapper class.
+// Names resolve in the package of the file carrying the annotation.
+// Functions documented with //enclavelint:guardedby Leader.mu are analyzed
+// with that class held on entry, so the callee side of a "callers must hold
+// Leader.mu" contract is checked too. Classes never mentioned by any
+// annotation are unconstrained: the analyzer enforces declared order, it
+// does not invent one.
+var LockOrder = &ModuleAnalyzer{
+	Name: "lockorder",
+	Doc:  "enforce the annotated lock acquisition order across call chains",
+	Run:  runLockOrder,
+}
+
+// LockOrderAnnotation declares a lock hierarchy: classes separated by '<',
+// earliest first.
+const LockOrderAnnotation = "//enclavelint:lockorder"
+
+// GuardedByAnnotation on a function's doc comment declares that callers
+// hold the named class(es) when the function runs.
+const GuardedByAnnotation = "//enclavelint:guardedby"
+
+func runLockOrder(p *ModulePass) {
+	e := &lockOrderEngine{
+		mod:     p.Module,
+		before:  map[string]map[string]bool{},
+		display: map[string]string{},
+		guards:  map[FuncID][]string{},
+		sums:    map[FuncID]*lockOrderSummary{},
+		pass:    p,
+	}
+	e.collectAnnotations()
+	if len(e.before) == 0 && len(e.guards) == 0 {
+		return // nothing declared, nothing to enforce
+	}
+	e.closeOrder()
+	// Local pass: per-function acquires and non-goroutine callees.
+	e.mod.EachFunc(func(fn *FuncNode) {
+		e.sums[fn.ID] = e.localSummary(fn)
+	})
+	// Transitive closure of acquires over the goroutine-free call edges.
+	for changed := true; changed; {
+		changed = false
+		e.mod.EachFunc(func(fn *FuncNode) {
+			sum := e.sums[fn.ID]
+			for _, callee := range sum.callees {
+				cs := e.sums[callee]
+				if cs == nil {
+					continue
+				}
+				for c := range cs.acquires {
+					if !sum.acquires[c] {
+						sum.acquires[c] = true
+						changed = true
+					}
+				}
+			}
+		})
+	}
+	e.reporting = true
+	e.mod.EachFunc(func(fn *FuncNode) { e.localSummary(fn) })
+}
+
+type lockOrderEngine struct {
+	mod *Module
+	// before[a][b] means class a must be acquired before class b on any
+	// path holding both (transitively closed).
+	before  map[string]map[string]bool
+	display map[string]string
+	guards  map[FuncID][]string
+	sums    map[FuncID]*lockOrderSummary
+
+	pass      *ModulePass
+	reporting bool
+	reported  map[token.Pos]bool
+}
+
+// A lockOrderSummary is one function's effect: the lock classes its body
+// (and, after closure, its callees) may acquire, excluding goroutine and
+// function-literal bodies, which run on their own stacks.
+type lockOrderSummary struct {
+	acquires map[string]bool
+	callees  []FuncID
+}
+
+// collectAnnotations parses every lockorder and guardedby directive,
+// reporting unresolvable class names and contradictory orders.
+func (e *lockOrderEngine) collectAnnotations() {
+	for _, u := range e.mod.Units {
+		for _, f := range u.Files {
+			if u.IsTest(f) {
+				continue
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if rest, ok := strings.CutPrefix(c.Text, LockOrderAnnotation); ok {
+						e.parseOrder(u, c, rest)
+					}
+				}
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					rest, ok := strings.CutPrefix(c.Text, GuardedByAnnotation)
+					if !ok {
+						continue
+					}
+					obj, _ := u.Info.Defs[fd.Name].(*types.Func)
+					id := funcID(obj)
+					if id == "" {
+						continue
+					}
+					for _, name := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+						cls := e.resolveClass(u, name)
+						if cls == "" {
+							e.pass.Reportf(c.Pos(), "guardedby directive names unknown lock class %q: want Type.mutexField or a lock-wrapper type declared in this package", name)
+							continue
+						}
+						e.guards[id] = append(e.guards[id], cls)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (e *lockOrderEngine) parseOrder(u *Unit, c *ast.Comment, rest string) {
+	parts := strings.Split(rest, "<")
+	var chain []string
+	for _, p := range parts {
+		name := strings.TrimSpace(p)
+		if name == "" {
+			continue
+		}
+		cls := e.resolveClass(u, name)
+		if cls == "" {
+			e.pass.Reportf(c.Pos(), "lockorder directive names unknown lock class %q: want Type.mutexField or a lock-wrapper type declared in this package", name)
+			continue
+		}
+		chain = append(chain, cls)
+	}
+	if len(chain) < 2 {
+		if len(parts) < 2 {
+			e.pass.Reportf(c.Pos(), "lockorder directive declares no order (want //enclavelint:lockorder A < B < ...)")
+		}
+		return
+	}
+	for i := 0; i < len(chain); i++ {
+		for j := i + 1; j < len(chain); j++ {
+			a, b := chain[i], chain[j]
+			if e.before[b] != nil && e.before[b][a] {
+				e.pass.Reportf(c.Pos(), "lockorder directive contradicts an earlier declaration: %s < %s here, %s < %s elsewhere",
+					e.display[a], e.display[b], e.display[b], e.display[a])
+				continue
+			}
+			if e.before[a] == nil {
+				e.before[a] = map[string]bool{}
+			}
+			e.before[a][b] = true
+		}
+	}
+}
+
+// closeOrder computes the transitive closure of the declared order.
+func (e *lockOrderEngine) closeOrder() {
+	classes := map[string]bool{}
+	for a, bs := range e.before {
+		classes[a] = true
+		for b := range bs {
+			classes[b] = true
+		}
+	}
+	var all []string
+	for c := range classes {
+		all = append(all, c)
+	}
+	sort.Strings(all)
+	for _, k := range all {
+		for _, i := range all {
+			if e.before[i] == nil || !e.before[i][k] {
+				continue
+			}
+			for _, j := range all {
+				if e.before[k] != nil && e.before[k][j] {
+					e.before[i][j] = true
+				}
+			}
+		}
+	}
+}
+
+// resolveClass maps an annotation name to a lock-class key in u's package:
+// "Type.field" for a mutex field, "Type" for a lock-wrapper type with its
+// own Lock/Unlock methods. Returns "" when the name does not resolve.
+func (e *lockOrderEngine) resolveClass(u *Unit, name string) string {
+	parts := strings.Split(name, ".")
+	tn, ok := u.Pkg.Scope().Lookup(parts[0]).(*types.TypeName)
+	if !ok {
+		return ""
+	}
+	named := namedOf(tn.Type())
+	if named == nil {
+		return ""
+	}
+	switch len(parts) {
+	case 1:
+		if !hasLockMethods(named) {
+			return ""
+		}
+		return e.intern(u.Path+"."+parts[0], parts[0])
+	case 2:
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return ""
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			if fld.Name() != parts[1] {
+				continue
+			}
+			if typeIs(fld.Type(), "sync", "Mutex") || typeIs(fld.Type(), "sync", "RWMutex") {
+				return e.intern(u.Path+"."+parts[0]+"."+parts[1], name)
+			}
+		}
+	}
+	return ""
+}
+
+func (e *lockOrderEngine) intern(key, display string) string {
+	if e.display[key] == "" {
+		e.display[key] = display
+	}
+	return key
+}
+
+// hasLockMethods reports whether named declares its own Lock and Unlock
+// methods — the lock-wrapper shape whose instances form one lock class.
+func hasLockMethods(named *types.Named) bool {
+	var lock, unlock bool
+	for i := 0; i < named.NumMethods(); i++ {
+		switch named.Method(i).Name() {
+		case "Lock":
+			lock = true
+		case "Unlock":
+			unlock = true
+		}
+	}
+	return lock && unlock
+}
+
+// classOfMutexOp classifies a Lock/Unlock-family call into (class key, op).
+// Wrapper inner mutexes canonicalize to the wrapper class.
+func (e *lockOrderEngine) classOfMutexOp(info *types.Info, call *ast.CallExpr) (string, mutexOpKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	var op mutexOpKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		op = opLock
+	case "Unlock", "RUnlock":
+		op = opUnlock
+	default:
+		return "", opNone
+	}
+	f := funcOf(info, call)
+	if f == nil {
+		return "", opNone
+	}
+	rt := recvType(f)
+	if rt == nil {
+		return "", opNone
+	}
+	if typeIs(rt, "sync", "Mutex") || typeIs(rt, "sync", "RWMutex") {
+		return e.classOfMutexExpr(info, sel.X), op
+	}
+	// A wrapper's own Lock/Unlock: the wrapper type is the class.
+	if n := namedOf(rt); n != nil && hasLockMethods(n) && n.Obj().Pkg() != nil {
+		return e.intern(n.Obj().Pkg().Path()+"."+n.Obj().Name(), n.Obj().Name()), op
+	}
+	return "", op
+}
+
+// classOfMutexExpr derives the class of a raw mutex expression: a field
+// selection owner.Type.field, canonicalized to the owner when the owner is
+// a lock wrapper.
+func (e *lockOrderEngine) classOfMutexExpr(info *types.Info, x ast.Expr) string {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		s, ok := info.Selections[x]
+		if !ok || s.Kind() != types.FieldVal {
+			return ""
+		}
+		owner := namedOf(s.Recv())
+		if owner == nil || owner.Obj().Pkg() == nil {
+			return ""
+		}
+		pkg := owner.Obj().Pkg().Path()
+		if hasLockMethods(owner) {
+			return e.intern(pkg+"."+owner.Obj().Name(), owner.Obj().Name())
+		}
+		return e.intern(pkg+"."+owner.Obj().Name()+"."+x.Sel.Name, owner.Obj().Name()+"."+x.Sel.Name)
+	case *ast.Ident:
+		// An embedded mutex promoted through a named type: the type is the
+		// class when it wraps a mutex.
+		obj := info.Uses[x]
+		if obj == nil {
+			return ""
+		}
+		n := namedOf(obj.Type())
+		if n == nil || n.Obj().Pkg() == nil || !isLockWrapper(n) {
+			return ""
+		}
+		return e.intern(n.Obj().Pkg().Path()+"."+n.Obj().Name(), n.Obj().Name())
+	}
+	return ""
+}
+
+// A heldLock is one acquired lock on the current path.
+type heldLock struct {
+	pos  token.Pos
+	expr string // receiver expression text, for same-instance detection
+}
+
+type lockOrderHeld map[string]heldLock
+
+func (h lockOrderHeld) clone() lockOrderHeld {
+	c := make(lockOrderHeld, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// localSummary walks one function body, recording acquires and callees
+// (outside goroutine/literal bodies) and — in the reporting phase —
+// flagging order violations.
+func (e *lockOrderEngine) localSummary(fn *FuncNode) *lockOrderSummary {
+	w := &lockOrderWalker{
+		eng:  e,
+		fn:   fn,
+		sum:  &lockOrderSummary{acquires: map[string]bool{}},
+		info: fn.Unit.Info,
+	}
+	held := lockOrderHeld{}
+	for _, cls := range e.guards[fn.ID] {
+		held[cls] = heldLock{pos: fn.Decl.Pos(), expr: "<caller>"}
+		w.sum.acquires[cls] = true
+	}
+	w.block(fn.Decl.Body.List, held)
+	return w.sum
+}
+
+type lockOrderWalker struct {
+	eng  *lockOrderEngine
+	fn   *FuncNode
+	info *types.Info
+	// sum is nil inside goroutine and function-literal bodies: they run on
+	// their own stacks, so their acquires are not the enclosing function's.
+	sum *lockOrderSummary
+}
+
+// sub returns a walker for a detached body (goroutine or literal): same
+// reporting, no summary recording.
+func (w *lockOrderWalker) sub() *lockOrderWalker {
+	return &lockOrderWalker{eng: w.eng, fn: w.fn, info: w.info}
+}
+
+func (w *lockOrderWalker) block(stmts []ast.Stmt, held lockOrderHeld) {
+	for _, s := range stmts {
+		w.stmt(s, held)
+	}
+}
+
+func (w *lockOrderWalker) stmt(s ast.Stmt, held lockOrderHeld) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		// defer X.Unlock() releases at return: the lock stays held here.
+		if cls, op := w.eng.classOfMutexOp(w.info, s.Call); op == opUnlock && cls != "" {
+			return
+		}
+		w.expr(s.Call, held)
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			w.expr(arg, held)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.sub().block(lit.Body.List, lockOrderHeld{})
+		}
+	case *ast.AssignStmt:
+		for _, x := range s.Rhs {
+			w.expr(x, held)
+		}
+		for _, x := range s.Lhs {
+			w.expr(x, held)
+		}
+	case *ast.ReturnStmt:
+		for _, x := range s.Results {
+			w.expr(x, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		w.block(s.Body.List, held.clone())
+		if s.Else != nil {
+			w.stmt(s.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		inner := held.clone()
+		w.block(s.Body.List, inner)
+		if s.Post != nil {
+			w.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.block(s.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			state := held.clone()
+			for _, x := range cc.List {
+				w.expr(x, state)
+			}
+			w.block(cc.Body, state)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.stmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			w.block(c.(*ast.CaseClause).Body, held.clone())
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			state := held.clone()
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, state)
+			}
+			w.block(cc.Body, state)
+		}
+	case *ast.BlockStmt:
+		w.block(s.List, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (w *lockOrderWalker) expr(e ast.Expr, held lockOrderHeld) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.sub().block(n.Body.List, lockOrderHeld{})
+			return false
+		case *ast.CallExpr:
+			if cls, op := w.eng.classOfMutexOp(w.info, n); op != opNone {
+				if cls == "" {
+					return true
+				}
+				switch op {
+				case opLock:
+					w.acquire(n, cls, held)
+				case opUnlock:
+					delete(held, cls)
+				}
+				return true
+			}
+			w.checkCall(n, held)
+		}
+		return true
+	})
+}
+
+// acquire records taking cls with held already held, reporting inversions
+// and same-instance re-acquires.
+func (w *lockOrderWalker) acquire(call *ast.CallExpr, cls string, held lockOrderHeld) {
+	e := w.eng
+	exprText := ""
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		exprText = types.ExprString(sel.X)
+	}
+	if prev, dup := held[cls]; dup && prev.expr == exprText {
+		w.reportf(call.Pos(), "acquiring %s twice on the same path (first at line %d): sync mutexes self-deadlock",
+			e.display[cls], e.mod.Fset.Position(prev.pos).Line)
+	}
+	for heldCls, info := range held {
+		if heldCls == cls {
+			continue
+		}
+		if e.before[cls] != nil && e.before[cls][heldCls] {
+			w.reportf(call.Pos(), "acquiring %s while holding %s (line %d) inverts the declared lock order %s < %s: deadlock with any thread locking in order",
+				e.display[cls], e.display[heldCls], e.mod.Fset.Position(info.pos).Line, e.display[cls], e.display[heldCls])
+		}
+	}
+	held[cls] = heldLock{pos: call.Pos(), expr: exprText}
+	if w.sum != nil {
+		w.sum.acquires[cls] = true
+	}
+}
+
+// checkCall applies callee summaries: a module-internal callee that
+// transitively acquires an earlier class must not run under a later one.
+func (w *lockOrderWalker) checkCall(call *ast.CallExpr, held lockOrderHeld) {
+	e := w.eng
+	f := funcOf(w.info, call)
+	id := funcID(f)
+	if id == "" {
+		return
+	}
+	if w.sum != nil {
+		if _, internal := e.mod.Funcs[id]; internal {
+			w.sum.callees = append(w.sum.callees, id)
+		}
+	}
+	sum := e.sums[id]
+	if sum == nil || len(held) == 0 {
+		return
+	}
+	for cls := range sum.acquires {
+		for heldCls, info := range held {
+			if heldCls == cls {
+				continue
+			}
+			if e.before[cls] != nil && e.before[cls][heldCls] {
+				w.reportf(call.Pos(), "%s acquires %s, called while holding %s (line %d): inverts the declared lock order %s < %s through the call chain",
+					f.Name(), e.display[cls], e.display[heldCls], e.mod.Fset.Position(info.pos).Line, e.display[cls], e.display[heldCls])
+			}
+		}
+	}
+}
+
+func (w *lockOrderWalker) reportf(pos token.Pos, format string, args ...any) {
+	e := w.eng
+	if !e.reporting {
+		return
+	}
+	if e.reported == nil {
+		e.reported = map[token.Pos]bool{}
+	}
+	if e.reported[pos] {
+		return
+	}
+	e.reported[pos] = true
+	e.pass.Reportf(pos, format, args...)
+}

@@ -29,6 +29,8 @@ const (
 	pkgWire      = "enclaves/internal/wire"
 	pkgTransport = "enclaves/internal/transport"
 	pkgLegacy    = "enclaves/internal/legacy"
+	pkgReplica   = "enclaves/internal/replica"
+	pkgLkh       = "enclaves/internal/lkh"
 )
 
 // Registry returns every analyzer with its package scope.
@@ -45,16 +47,60 @@ const (
 //   - keyhygiene: every package that handles key material.
 func Registry() []ScopedAnalyzer {
 	return []ScopedAnalyzer{
-		{CryptoRand, []string{pkgCrypto, pkgCore, pkgMember, pkgGroup, pkgWire}},
-		{SealUnderLock, []string{pkgCore, pkgMember, pkgGroup, pkgTransport, pkgLegacy}},
-		{CachedCipher, []string{pkgCore, pkgMember, pkgGroup}},
-		{WireExhaustive, []string{pkgCore, pkgMember, pkgGroup, pkgLegacy, pkgWire}},
-		{KeyHygiene, []string{pkgCrypto, pkgCore, pkgMember, pkgGroup, pkgWire, pkgLegacy}},
+		{CryptoRand, []string{pkgCrypto, pkgCore, pkgMember, pkgGroup, pkgWire, pkgReplica, pkgLkh}},
+		{SealUnderLock, []string{pkgCore, pkgMember, pkgGroup, pkgTransport, pkgLegacy, pkgReplica}},
+		{CachedCipher, []string{pkgCore, pkgMember, pkgGroup, pkgReplica}},
+		{WireExhaustive, []string{pkgCore, pkgMember, pkgGroup, pkgLegacy, pkgWire, pkgReplica}},
+		{KeyHygiene, []string{pkgCrypto, pkgCore, pkgMember, pkgGroup, pkgWire, pkgLegacy, pkgReplica, pkgLkh}},
 	}
 }
 
-// All returns the five analyzers without scope, for tests and tools that
+// A ScopedModuleAnalyzer pairs an interprocedural analyzer with the import
+// paths its *findings* gate: the analyzer still sees the whole module (its
+// summaries cross package lines), but only diagnostics landing in a scoped
+// package are reported.
+type ScopedModuleAnalyzer struct {
+	*ModuleAnalyzer
+	Packages []string
+}
+
+// Applies reports whether findings in the package at path are gated.
+func (s ScopedModuleAnalyzer) Applies(path string) bool {
+	for _, p := range s.Packages {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// ModuleRegistry returns every interprocedural analyzer with the packages
+// its findings gate.
+//
+//   - keytaint: everywhere key material lives or flows — the key hierarchy
+//     (crypto, lkh), the protocol engines, replication (K_r), and the wire
+//     layer whose Marshal methods carry key bytes by summary.
+//   - noncereuse: the packages that seal freshness chains — the protocol
+//     engines, the replica delta stream, and the legacy baseline is exempt
+//     (its fixed-nonce bug is the documented vulnerability, caught by its
+//     own corpus).
+//   - lockorder: the packages with annotated hierarchies and their callers;
+//     packages with no annotations produce no findings by construction.
+func ModuleRegistry() []ScopedModuleAnalyzer {
+	return []ScopedModuleAnalyzer{
+		{KeyTaint, []string{pkgCrypto, pkgCore, pkgMember, pkgGroup, pkgWire, pkgLegacy, pkgReplica, pkgLkh}},
+		{NonceReuse, []string{pkgCore, pkgMember, pkgGroup, pkgReplica}},
+		{LockOrder, []string{pkgCore, pkgMember, pkgGroup, pkgTransport, pkgReplica, pkgLkh}},
+	}
+}
+
+// All returns the unit analyzers without scope, for tests and tools that
 // want to run one analyzer over arbitrary code.
 func All() []*Analyzer {
 	return []*Analyzer{CryptoRand, SealUnderLock, CachedCipher, WireExhaustive, KeyHygiene}
+}
+
+// AllModule returns the module analyzers without scope.
+func AllModule() []*ModuleAnalyzer {
+	return []*ModuleAnalyzer{KeyTaint, NonceReuse, LockOrder}
 }

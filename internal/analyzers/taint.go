@@ -1,0 +1,831 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file implements the forward taint engine keytaint runs on: a
+// module-wide dataflow analysis tracking key-derived bytes from their
+// sources (Key.Bytes(), key/secret-named byte slices, functions whose
+// summaries prove they return key material) to observable sinks (logging,
+// errors, metrics, audit events, unsealed wire frames), following values
+// through assignments, struct-typed locals, slices, calls, and returns.
+//
+// The lattice is a bitset per value: bit i says "tainted iff parameter i of
+// the enclosing function is tainted" (the receiver is parameter 0 for
+// methods); the intrinsic bit says "tainted, full stop". Each function gets
+// a summary — per-result taint masks plus the set of parameters that
+// (transitively) reach a sink inside it — and summaries are iterated over
+// the call graph to a fixpoint, so taint follows a key through any chain of
+// module-internal helpers. External (stdlib) callees default to clean
+// results, which makes hashing (sha256, hmac) and AEAD sealing natural
+// sanitizers; an explicit allowlist of transparent transforms (append, copy,
+// hex/base64 encoding, fmt.Sprint*) propagates instead.
+//
+// Precision notes, deliberate and documented: tracking is per-object and
+// flow-insensitive within a function (bits only grow; a reassignment never
+// un-taints), struct locals are tainted wholesale when any field is (which
+// is what makes a wire payload builder carrying Key.Bytes() taint its
+// Marshal result), and there is no global heap model — a cross-function
+// flow must travel through a call, a return, or a key-named field, which
+// matches how key material actually moves in this codebase.
+
+// taintBits is the per-value lattice element.
+type taintBits uint64
+
+// taintIntrinsic marks a value tainted regardless of the caller.
+const taintIntrinsic taintBits = 1 << 63
+
+// maxTrackedParams bounds per-parameter precision; parameters beyond it are
+// simply untracked (no summary bit), never misattributed.
+const maxTrackedParams = 62
+
+func paramBit(i int) taintBits {
+	if i < 0 || i >= maxTrackedParams {
+		return 0
+	}
+	return 1 << uint(i)
+}
+
+// taintSummary is one function's interprocedural behavior.
+type taintSummary struct {
+	// results[i] is the taint mask of result i: intrinsic and/or dependent
+	// on specific parameters.
+	results []taintBits
+	// sinks maps a parameter index to a description of the sink it reaches
+	// inside the function (possibly through further calls).
+	sinks map[int]string
+}
+
+func (s *taintSummary) equal(o *taintSummary) bool {
+	if len(s.results) != len(o.results) || len(s.sinks) != len(o.sinks) {
+		return false
+	}
+	for i := range s.results {
+		if s.results[i] != o.results[i] {
+			return false
+		}
+	}
+	for k, v := range s.sinks {
+		if o.sinks[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// taintEngine computes summaries to fixpoint, then reports.
+type taintEngine struct {
+	mod  *Module
+	sums map[FuncID]*taintSummary
+	// pass is non-nil only during the final reporting walk.
+	pass *ModulePass
+}
+
+func newTaintEngine(mod *Module) *taintEngine {
+	return &taintEngine{mod: mod, sums: map[FuncID]*taintSummary{}}
+}
+
+// run iterates summary computation over every function until stable, then
+// does one reporting pass.
+func (e *taintEngine) run(pass *ModulePass) {
+	for iter := 0; iter < 12; iter++ {
+		changed := false
+		e.mod.EachFunc(func(fn *FuncNode) {
+			sum := e.analyze(fn)
+			if prev, ok := e.sums[fn.ID]; !ok || !prev.equal(sum) {
+				e.sums[fn.ID] = sum
+				changed = true
+			}
+		})
+		if !changed {
+			break
+		}
+	}
+	e.pass = pass
+	e.mod.EachFunc(func(fn *FuncNode) { e.analyze(fn) })
+	e.pass = nil
+}
+
+// summaryFor returns the current summary of a module-internal callee, or
+// nil.
+func (e *taintEngine) summaryFor(f *types.Func) *taintSummary {
+	return e.sums[funcID(f)]
+}
+
+// taintScope is the per-function analysis state.
+type taintScope struct {
+	eng   *taintEngine
+	fn    *FuncNode
+	info  *types.Info
+	state map[types.Object]taintBits
+	// origin names the first intrinsic source that tainted an object, for
+	// diagnostics ("raw Key.Bytes()", "key material sessionKey").
+	origin map[types.Object]string
+	sum    *taintSummary
+}
+
+// analyze runs the local dataflow for fn and returns its summary. When the
+// engine is in its reporting pass, intrinsic taint meeting a sink is
+// reported through the pass.
+func (e *taintEngine) analyze(fn *FuncNode) *taintSummary {
+	sig := fn.Sig()
+	sc := &taintScope{
+		eng:    e,
+		fn:     fn,
+		info:   fn.Unit.Info,
+		state:  map[types.Object]taintBits{},
+		origin: map[types.Object]string{},
+		sum: &taintSummary{
+			results: make([]taintBits, sig.Results().Len()),
+			sinks:   map[int]string{},
+		},
+	}
+	for i, v := range fn.Params() {
+		bits := paramBit(i)
+		if desc, ok := nameTaintSource(v.Name(), v.Type()); ok {
+			bits |= taintIntrinsic
+			sc.origin[v] = desc
+		}
+		sc.state[v] = bits
+	}
+	// Local fixpoint: bits only grow, so a few walks converge. Walk once
+	// more than strictly needed so sinks observed on the final walk see the
+	// full state.
+	for iter := 0; iter < 8; iter++ {
+		before := sc.snapshot()
+		sc.walk(fn.Decl.Body, false)
+		if sc.snapshot() == before {
+			break
+		}
+	}
+	sc.walk(fn.Decl.Body, true)
+	return sc.sum
+}
+
+func (sc *taintScope) snapshot() uint64 {
+	var h uint64 = 14695981039346656037
+	for o, b := range sc.state {
+		h ^= uint64(uintptr(o.Pos())) * uint64(b|1)
+	}
+	return h
+}
+
+// nameTaintSource reports whether a byte-sequence value's name marks it as
+// key material (the same convention keyhygiene pins, plus "secret" and
+// password-derived material), with a description for diagnostics.
+func nameTaintSource(name string, t types.Type) (string, bool) {
+	if t == nil || !isByteSeq(t) {
+		return "", false
+	}
+	marked := false
+	for _, hot := range []string{"key", "secret", "password", "passwd"} {
+		if lowerContains(name, hot) {
+			marked = true
+			break
+		}
+	}
+	if !marked {
+		return "", false
+	}
+	for _, safe := range []string{"fingerprint", "fp", "hash", "digest", "sum", "id", "name"} {
+		if lowerContains(name, safe) {
+			return "", false
+		}
+	}
+	return "key material " + name, true
+}
+
+// walk visits every statement, updating state; when sinkCheck is set (the
+// final walk, and the engine's reporting pass decides whether findings are
+// emitted) sink encounters are recorded into the summary / reported.
+func (sc *taintScope) walk(body *ast.BlockStmt, sinkCheck bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			sc.assign(n)
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						sc.valueSpec(vs)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			sc.rangeStmt(n)
+		case *ast.ReturnStmt:
+			sc.returnStmt(n)
+		case *ast.CallExpr:
+			if sinkCheck {
+				sc.checkCallSinks(n)
+			}
+		case *ast.CompositeLit:
+			if sinkCheck {
+				sc.checkEventSink(n)
+				sc.checkEnvelopeLit(n)
+			}
+		}
+		return true
+	})
+	if sinkCheck {
+		ast.Inspect(body, func(n ast.Node) bool {
+			if a, ok := n.(*ast.AssignStmt); ok {
+				sc.checkPayloadStore(a)
+			}
+			return true
+		})
+	}
+}
+
+// sinkHit routes one tainted-value-meets-sink encounter: intrinsic taint is
+// reported (during the engine's reporting pass); parameter-dependent taint
+// becomes a summary obligation the callers discharge.
+func (sc *taintScope) sinkHit(pos token.Pos, bits taintBits, org, sink string) {
+	if bits == 0 {
+		return
+	}
+	if bits&taintIntrinsic != 0 && sc.eng.pass != nil {
+		if org == "" {
+			org = "key-derived bytes"
+		}
+		sc.eng.pass.Reportf(pos, "%s reaches %s: log fingerprints (Key.Fingerprint), never key-derived bytes", org, sink)
+	}
+	for p := 0; p < maxTrackedParams; p++ {
+		if bits&paramBit(p) != 0 {
+			if _, ok := sc.sum.sinks[p]; !ok {
+				sc.sum.sinks[p] = sink
+			}
+		}
+	}
+}
+
+// checkCallSinks flags tainted arguments meeting sinks at a call: logging
+// and printf-shaped helpers, error constructors, metrics, and any
+// module-internal callee whose summary says a parameter reaches a sink
+// inside it. Arguments that are directly key material by keyhygiene's own
+// syntactic definition are skipped — those are keyhygiene findings; this
+// analyzer owns the flows keyhygiene provably cannot see.
+func (sc *taintScope) checkCallSinks(call *ast.CallExpr) {
+	f := funcOf(sc.info, call)
+	if f == nil {
+		// Printf-shaped func values (Config.Logf and friends) do not
+		// resolve to a *types.Func, so the syntactic generation is blind to
+		// them entirely; this analyzer owns them, direct key material
+		// included.
+		if name, ok := printfFuncVal(sc.info, call); ok {
+			for _, a := range call.Args {
+				bits := sc.exprBits(a)
+				org := sc.exprOrigin(a)
+				if desc, direct := keyMaterial(sc.info, a); direct {
+					bits |= taintIntrinsic
+					org = desc
+				}
+				sc.sinkHit(a.Pos(), bits, org, "a diagnostic log line ("+name+")")
+			}
+		}
+		return
+	}
+	if isPkgFunc(f, "errors", "New") {
+		for _, a := range call.Args {
+			if _, direct := keyMaterial(sc.info, a); direct {
+				continue
+			}
+			sc.sinkHit(a.Pos(), sc.exprBits(a), sc.exprOrigin(a), "an error value (errors.New)")
+		}
+		return
+	}
+	if sink, _ := formatSink(f, call); sink {
+		for _, a := range call.Args {
+			if _, direct := keyMaterial(sc.info, a); direct {
+				continue
+			}
+			sc.sinkHit(a.Pos(), sc.exprBits(a), sc.exprOrigin(a), sinkLabel(f, call))
+		}
+		return
+	}
+	// Interprocedural step: the callee's summary says which parameters
+	// reach a sink somewhere below it.
+	sum := sc.eng.summaryFor(f)
+	if sum == nil || len(sum.sinks) == 0 {
+		return
+	}
+	for _, a := range sc.callerArgs(call, f) {
+		what, ok := sum.sinks[a.param]
+		if !ok || a.expr == nil {
+			continue
+		}
+		sc.sinkHit(a.expr.Pos(), sc.exprBits(a.expr), sc.exprOrigin(a.expr), what+" (via "+f.Name()+")")
+	}
+}
+
+// printfFuncVal recognizes calls through printf-shaped func values — a
+// func-typed field or variable whose name carries a logging stem. These
+// calls have no *types.Func, so they are invisible to formatSink.
+func printfFuncVal(info *types.Info, call *ast.CallExpr) (string, bool) {
+	var name string
+	fun := ast.Unparen(call.Fun)
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return "", false
+	}
+	if tv, ok := info.Types[fun]; !ok || tv.IsType() {
+		return "", false
+	}
+	lower := strings.ToLower(name)
+	for _, stem := range []string{"logf", "printf", "errorf", "debugf", "warnf", "infof", "tracef", "auditf"} {
+		if strings.HasSuffix(lower, stem) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// checkEventSink flags tainted values copied into audit/metrics event
+// structs — the cross-function analogue of keyhygiene's checkEventLit.
+func (sc *taintScope) checkEventSink(lit *ast.CompositeLit) {
+	tv, ok := sc.info.Types[lit]
+	if !ok {
+		return
+	}
+	named := namedOf(tv.Type)
+	if named == nil || !strings.HasSuffix(named.Obj().Name(), "Event") {
+		return
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return
+	}
+	for _, elt := range lit.Elts {
+		e := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			e = kv.Value
+		}
+		if _, direct := keyMaterial(sc.info, e); direct {
+			continue
+		}
+		sc.sinkHit(e.Pos(), sc.exprBits(e), sc.exprOrigin(e), "a retained "+typeLabel(named)+" event")
+	}
+}
+
+// checkEnvelopeLit flags tainted bytes placed into a wire.Envelope Payload
+// at construction: an envelope payload that is not a Seal output is an
+// unsealed frame, and key-derived bytes in it cross the enclave boundary in
+// the clear.
+func (sc *taintScope) checkEnvelopeLit(lit *ast.CompositeLit) {
+	tv, ok := sc.info.Types[lit]
+	if !ok || !typeIs(tv.Type, wirePath, "Envelope") {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); !ok || id.Name != "Payload" {
+			continue
+		}
+		sc.sinkHit(kv.Value.Pos(), sc.exprBits(kv.Value), sc.exprOrigin(kv.Value), "an unsealed wire frame payload")
+	}
+}
+
+// checkPayloadStore flags tainted bytes assigned into an existing
+// envelope's Payload field.
+func (sc *taintScope) checkPayloadStore(a *ast.AssignStmt) {
+	for i, lhs := range a.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Payload" {
+			continue
+		}
+		tv, ok := sc.info.Types[sel.X]
+		if !ok || !typeIs(tv.Type, wirePath, "Envelope") {
+			continue
+		}
+		if i < len(a.Rhs) {
+			sc.sinkHit(a.Rhs[i].Pos(), sc.exprBits(a.Rhs[i]), sc.exprOrigin(a.Rhs[i]), "an unsealed wire frame payload")
+		}
+	}
+}
+
+// exprOrigin names the intrinsic source behind an expression, best-effort,
+// for diagnostics.
+func (sc *taintScope) exprOrigin(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := sc.objOf(e)
+		if obj == nil {
+			return ""
+		}
+		if desc, ok := nameTaintSource(obj.Name(), obj.Type()); ok {
+			return desc
+		}
+		return sc.origin[obj]
+	case *ast.SelectorExpr:
+		if sel, ok := sc.info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if desc, ok := nameTaintSource(e.Sel.Name, sel.Type()); ok {
+				return desc
+			}
+		}
+		if obj := sc.baseObj(e.X); obj != nil {
+			return sc.origin[obj]
+		}
+	case *ast.CallExpr:
+		if f := funcOf(sc.info, e); f != nil {
+			if isMethod(f, cryptoPath, "Key", "Bytes") {
+				return "raw Key.Bytes()"
+			}
+			if sum := sc.eng.summaryFor(f); sum != nil && len(sum.results) > 0 && sum.results[0]&taintIntrinsic != 0 {
+				return "key material returned by " + f.Name()
+			}
+		}
+		for _, a := range e.Args {
+			if org := sc.exprOrigin(a); org != "" {
+				return org
+			}
+		}
+	case *ast.SliceExpr:
+		return sc.exprOrigin(e.X)
+	case *ast.UnaryExpr:
+		return sc.exprOrigin(e.X)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if org := sc.exprOrigin(elt); org != "" {
+				return org
+			}
+		}
+	}
+	return ""
+}
+
+// assign merges rhs taint into lhs targets. Field and index stores taint
+// the whole base object (coarse, and the safe direction).
+func (sc *taintScope) assign(a *ast.AssignStmt) {
+	if len(a.Lhs) > 1 && len(a.Rhs) == 1 {
+		// x, y := f()  /  v, ok := m[k]
+		bits := sc.multiBits(a.Rhs[0], len(a.Lhs))
+		for i, lhs := range a.Lhs {
+			sc.store(lhs, bits[i], sc.exprOrigin(a.Rhs[0]))
+		}
+		return
+	}
+	for i, lhs := range a.Lhs {
+		if i < len(a.Rhs) {
+			sc.store(lhs, sc.exprBits(a.Rhs[i]), sc.exprOrigin(a.Rhs[i]))
+		}
+	}
+}
+
+func (sc *taintScope) valueSpec(vs *ast.ValueSpec) {
+	for i, name := range vs.Names {
+		var bits taintBits
+		var org string
+		if i < len(vs.Values) {
+			bits = sc.exprBits(vs.Values[i])
+			org = sc.exprOrigin(vs.Values[i])
+		}
+		obj := sc.info.Defs[name]
+		if obj != nil {
+			sc.merge(obj, bits, org)
+		}
+	}
+}
+
+func (sc *taintScope) rangeStmt(r *ast.RangeStmt) {
+	bits := sc.exprBits(r.X)
+	org := sc.exprOrigin(r.X)
+	if r.Value != nil {
+		sc.store(r.Value, bits, org)
+	}
+}
+
+func (sc *taintScope) returnStmt(r *ast.ReturnStmt) {
+	sig := sc.fn.Sig()
+	if len(r.Results) == 0 {
+		// Bare return with named results.
+		for i := 0; i < sig.Results().Len(); i++ {
+			if v := sig.Results().At(i); v.Name() != "" {
+				sc.sum.results[i] |= sc.state[v]
+			}
+		}
+		return
+	}
+	if len(r.Results) == 1 && sig.Results().Len() > 1 {
+		// return f(): spread a multi-value call.
+		bits := sc.multiBits(r.Results[0], sig.Results().Len())
+		for i := range bits {
+			sc.sum.results[i] |= bits[i]
+		}
+		return
+	}
+	for i, res := range r.Results {
+		if i < len(sc.sum.results) {
+			sc.sum.results[i] |= sc.exprBits(res)
+		}
+	}
+}
+
+// store merges bits into the object behind an assignable expression.
+func (sc *taintScope) store(lhs ast.Expr, bits taintBits, org string) {
+	lhs = ast.Unparen(lhs)
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		if obj := sc.objOf(l); obj != nil {
+			sc.merge(obj, bits, org)
+		}
+	case *ast.SelectorExpr:
+		// x.f = tainted: taint x wholesale.
+		if obj := sc.baseObj(l.X); obj != nil {
+			sc.merge(obj, bits, org)
+		}
+	case *ast.IndexExpr:
+		if obj := sc.baseObj(l.X); obj != nil {
+			sc.merge(obj, bits, org)
+		}
+	case *ast.StarExpr:
+		if obj := sc.baseObj(l.X); obj != nil {
+			sc.merge(obj, bits, org)
+		}
+	}
+}
+
+func (sc *taintScope) merge(obj types.Object, bits taintBits, org string) {
+	if bits == 0 {
+		return
+	}
+	old := sc.state[obj]
+	sc.state[obj] = old | bits
+	if bits&taintIntrinsic != 0 && sc.origin[obj] == "" && org != "" {
+		sc.origin[obj] = org
+	}
+}
+
+// objOf resolves an identifier to its object (definition or use).
+func (sc *taintScope) objOf(id *ast.Ident) types.Object {
+	if o := sc.info.Defs[id]; o != nil {
+		return o
+	}
+	return sc.info.Uses[id]
+}
+
+// baseObj peels selectors/indexes/derefs down to the root identifier's
+// object: the local or parameter whose value is being mutated through.
+func (sc *taintScope) baseObj(e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return sc.objOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprBits computes the taint of an expression.
+func (sc *taintScope) exprBits(e ast.Expr) taintBits {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := sc.objOf(e)
+		if obj == nil {
+			return 0
+		}
+		bits := sc.state[obj]
+		if _, ok := nameTaintSource(obj.Name(), obj.Type()); ok {
+			bits |= taintIntrinsic
+		}
+		return bits
+	case *ast.SelectorExpr:
+		// Field read: taint of the base, plus name-based field sources
+		// (s.sessionKey and friends).
+		var bits taintBits
+		if obj := sc.baseObj(e.X); obj != nil {
+			bits = sc.state[obj]
+		}
+		if sel, ok := sc.info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if _, ok := nameTaintSource(e.Sel.Name, sel.Type()); ok {
+				bits |= taintIntrinsic
+			}
+		} else if obj := sc.info.Uses[e.Sel]; obj != nil {
+			// Package-qualified var.
+			if _, ok := nameTaintSource(obj.Name(), obj.Type()); ok {
+				bits |= taintIntrinsic
+			}
+		}
+		return bits
+	case *ast.CallExpr:
+		return sc.multiBits(e, 1)[0]
+	case *ast.SliceExpr:
+		return sc.exprBits(e.X)
+	case *ast.IndexExpr:
+		return sc.exprBits(e.X)
+	case *ast.StarExpr:
+		return sc.exprBits(e.X)
+	case *ast.UnaryExpr:
+		return sc.exprBits(e.X)
+	case *ast.BinaryExpr:
+		return sc.exprBits(e.X) | sc.exprBits(e.Y)
+	case *ast.CompositeLit:
+		var bits taintBits
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			bits |= sc.exprBits(elt)
+		}
+		return bits
+	case *ast.TypeAssertExpr:
+		return sc.exprBits(e.X)
+	}
+	return 0
+}
+
+// multiBits computes per-result taint for a (possibly multi-value) rhs.
+func (sc *taintScope) multiBits(e ast.Expr, n int) []taintBits {
+	out := make([]taintBits, n)
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		if n > 0 {
+			out[0] = sc.exprBits(e)
+		}
+		return out
+	}
+	// Conversion: string(b), []byte(s), T(v) — transparent.
+	if tv, ok := sc.info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && n > 0 {
+			out[0] = sc.exprBits(call.Args[0])
+		}
+		return out
+	}
+	f := funcOf(sc.info, call)
+	if f == nil {
+		// Builtins: append propagates everything it sees.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+			var bits taintBits
+			for _, a := range call.Args {
+				bits |= sc.exprBits(a)
+			}
+			if n > 0 {
+				out[0] = bits
+			}
+		}
+		return out
+	}
+	// Intrinsic source: raw key bytes out of the redacting container.
+	if isMethod(f, cryptoPath, "Key", "Bytes") {
+		if n > 0 {
+			out[0] = taintIntrinsic
+		}
+		return out
+	}
+	// Module-internal callee: substitute the caller's argument taint into
+	// the callee's summary.
+	if sum := sc.eng.summaryFor(f); sum != nil {
+		argBits := sc.argTaints(call, f)
+		for i := 0; i < n && i < len(sum.results); i++ {
+			out[i] = substitute(sum.results[i], argBits)
+		}
+		return out
+	}
+	// External transparent transforms.
+	if taintTransparent(f) {
+		var bits taintBits
+		for _, a := range call.Args {
+			bits |= sc.exprBits(a)
+		}
+		if n > 0 {
+			out[0] = bits
+		}
+	}
+	return out
+}
+
+// callerArg is one caller-side argument paired with the callee parameter
+// slot it feeds (receiver-first indexing; variadic overflow clamps onto the
+// last parameter).
+type callerArg struct {
+	expr  ast.Expr
+	param int
+}
+
+// callerArgs enumerates the call's arguments with their callee parameter
+// slots, the method receiver included as parameter 0.
+func (sc *taintScope) callerArgs(call *ast.CallExpr, f *types.Func) []callerArg {
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	var out []callerArg
+	offset := 0
+	if sig.Recv() != nil {
+		offset = 1
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			out = append(out, callerArg{expr: sel.X, param: 0})
+		}
+	}
+	nparams := sig.Params().Len()
+	for i, a := range call.Args {
+		p := i
+		if sig.Variadic() && p >= nparams-1 {
+			p = nparams - 1
+		}
+		if p >= nparams {
+			continue
+		}
+		out = append(out, callerArg{expr: a, param: p + offset})
+	}
+	return out
+}
+
+// argTaints folds the caller's arguments into per-callee-parameter taint.
+func (sc *taintScope) argTaints(call *ast.CallExpr, f *types.Func) []taintBits {
+	n := len(sc.fnParamsOf(f))
+	out := make([]taintBits, n)
+	for _, a := range sc.callerArgs(call, f) {
+		if a.param < n {
+			out[a.param] |= sc.exprBits(a.expr)
+		}
+	}
+	return out
+}
+
+// fnParamsOf returns the receiver-first parameter list of any callee.
+func (sc *taintScope) fnParamsOf(f *types.Func) []*types.Var {
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	var out []*types.Var
+	if sig.Recv() != nil {
+		out = append(out, sig.Recv())
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}
+
+// substitute folds per-parameter caller taint into a summary mask.
+func substitute(mask taintBits, argBits []taintBits) taintBits {
+	out := mask & taintIntrinsic
+	for p, bits := range argBits {
+		if mask&paramBit(p) != 0 {
+			out |= bits
+		}
+	}
+	return out
+}
+
+// taintTransparent lists external callees that return their input bytes in
+// another shape (encodings, formatting, copies) — the transforms that keep
+// secrets secret-bearing. Everything else external is a sanitizer by
+// default (hashes, AEAD seals, constructors).
+func taintTransparent(f *types.Func) bool {
+	pkg := f.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "encoding/hex", "encoding/base64", "encoding/base32":
+		return true
+	case "fmt":
+		switch f.Name() {
+		case "Sprint", "Sprintf", "Sprintln", "Append", "Appendf", "Appendln":
+			return true
+		}
+	case "bytes":
+		switch f.Name() {
+		case "Clone", "Join", "TrimSpace", "ToLower", "ToUpper", "Repeat":
+			return true
+		}
+	case "slices":
+		switch f.Name() {
+		case "Clone", "Concat":
+			return true
+		}
+	case "strings":
+		switch f.Name() {
+		case "Join", "Clone", "Repeat", "ToLower", "ToUpper", "TrimSpace":
+			return true
+		}
+	}
+	return false
+}

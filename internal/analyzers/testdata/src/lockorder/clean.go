@@ -1,0 +1,46 @@
+package lockorder
+
+// balanced takes all three classes in the declared order.
+func balanced(r *Registry, b *bucket, s *session) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b.Lock()
+	defer b.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	b.n++
+}
+
+// handoff releases the earlier class before taking the later one: holding
+// never overlaps, so no edge is recorded.
+func handoff(r *Registry, s *session) {
+	r.mu.Lock()
+	r.parts = nil
+	r.mu.Unlock()
+	s.mu.Lock()
+	s.seq++
+	s.mu.Unlock()
+}
+
+// spawn starts a goroutine that takes an earlier class: detached bodies
+// run lock-free on their own stacks, so this is not an inversion and the
+// goroutine's acquires stay out of spawn's summary.
+func (r *Registry) spawn(b *bucket) {
+	b.Lock()
+	defer b.Unlock()
+	go func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}()
+}
+
+// mutateLocked runs under the registry lock by contract; bucket comes
+// after Registry.mu, so the local acquisition respects the order.
+//
+//enclavelint:guardedby Registry.mu
+func (r *Registry) mutateLocked(b *bucket) {
+	b.Lock()
+	defer b.Unlock()
+	b.n++
+}

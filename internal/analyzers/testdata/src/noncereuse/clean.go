@@ -1,0 +1,58 @@
+package noncereuse
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+
+	"enclaves/internal/crypto"
+)
+
+// freshPair draws one nonce per frame: two draws, two seals.
+func freshPair() (delta, delta, error) {
+	na, err := crypto.NewNonce()
+	if err != nil {
+		return delta{}, delta{}, err
+	}
+	nb, err := crypto.NewNonce()
+	if err != nil {
+		return delta{}, delta{}, err
+	}
+	var a, b delta
+	stamp(&a, na)
+	stamp(&b, nb)
+	return a, b, nil
+}
+
+// chainStep advances the hash chain: a keyed hash of the previous link is
+// a fresh value by the chained-hash rule, and the summary proves the
+// result fresh on every path.
+func chainStep(prev crypto.Nonce) crypto.Nonce {
+	h := hmac.New(sha256.New, prev[:])
+	return crypto.Nonce(h.Sum(nil)[:crypto.NonceSize])
+}
+
+// advance seals the next chain link and moves the head: each frame gets
+// its own link, so the per-call proof holds.
+func (s *session) advance(d *delta) {
+	next := chainStep(s.last)
+	d.Echo = s.last
+	d.Next = next
+	s.last = next
+}
+
+// perAttempt draws inside the loop: each iteration proves its own frame
+// (the loop body is walked twice, so a draw outside the loop would not
+// pass).
+func perAttempt(count int) ([]delta, error) {
+	var out []delta
+	for i := 0; i < count; i++ {
+		n, err := crypto.NewNonce()
+		if err != nil {
+			return nil, err
+		}
+		var d delta
+		stamp(&d, n)
+		out = append(out, d)
+	}
+	return out, nil
+}

@@ -1,0 +1,15 @@
+// Package staleignore exercises stale-suppression detection end to end:
+// one directive that still earns its keep, one whose finding was fixed,
+// and one naming an analyzer that does not exist.
+package staleignore
+
+//enclavelint:ignore cryptorand deterministic jitter is the point of this package
+import "math/rand"
+
+var jitter = rand.Int63()
+
+//enclavelint:ignore cryptorand the finding this once suppressed was fixed
+var settled = 42
+
+//enclavelint:ignore keyhygine typo that must be caught
+var typoed = 43

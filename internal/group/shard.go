@@ -24,6 +24,9 @@ import (
 //     the hot paths stop serializing behind joins, rekeys, and each other.
 //
 // Lock order: Leader.mu → stripe.mu → memberConn.mu; never the reverse.
+// The lockorder analyzer enforces the machine-readable form:
+//
+//enclavelint:lockorder Leader.mu < stripe < memberConn.mu
 type registry struct {
 	stripes []stripe
 	mask    uint32
@@ -115,6 +118,8 @@ func (r *registry) get(user string) *memberConn {
 // insert registers s under its user name, replacing any previous entry
 // (re-join over a stale session) and returning the displaced session, if
 // any. Callers must hold Leader.mu (mutation rule).
+//
+//enclavelint:guardedby Leader.mu
 func (r *registry) insert(s *memberConn) (displaced *memberConn) {
 	sh := r.stripeFor(s.user)
 	sh.Lock()
@@ -129,6 +134,8 @@ func (r *registry) insert(s *memberConn) (displaced *memberConn) {
 
 // take removes and returns the member registered under user (nil if
 // absent). Callers must hold Leader.mu (mutation rule).
+//
+//enclavelint:guardedby Leader.mu
 func (r *registry) take(user string) *memberConn {
 	sh := r.stripeFor(user)
 	sh.Lock()
@@ -144,6 +151,8 @@ func (r *registry) take(user string) *memberConn {
 // remove deletes s only if it is still the registered session for its user
 // (a re-joined member may have displaced it), reporting whether it did.
 // Callers must hold Leader.mu (mutation rule).
+//
+//enclavelint:guardedby Leader.mu
 func (r *registry) remove(s *memberConn) bool {
 	sh := r.stripeFor(s.user)
 	sh.Lock()

@@ -16,7 +16,9 @@ import (
 type AuthInitPayload struct {
 	User   string
 	Leader string
-	N1     crypto.Nonce
+	// N1 is the member's fresh challenge for this exchange.
+	//enclavelint:fresh
+	N1 crypto.Nonce
 }
 
 // Marshal encodes the payload deterministically.
@@ -45,9 +47,12 @@ func UnmarshalAuthInit(data []byte) (AuthInitPayload, error) {
 // AuthKeyDistPayload is the content of AuthKeyDist:
 // {L, A, N1, N2, Ka}_Pa.
 type AuthKeyDistPayload struct {
-	Leader     string
-	User       string
-	N1         crypto.Nonce
+	Leader string
+	User   string
+	// N1 echoes the member's challenge; N2 is the leader's fresh
+	// counter-challenge.
+	N1 crypto.Nonce
+	//enclavelint:fresh
 	N2         crypto.Nonce
 	SessionKey crypto.Key
 }
