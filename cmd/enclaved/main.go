@@ -41,6 +41,21 @@
 // with live session state resume without a password re-handshake; the rest
 // re-join normally.
 //
+// -groups, -max-groups, and -group-ttl switch the daemon into multi-tenant
+// mode: one process hosts many independent groups — each with its own
+// users, keys, epochs, rekeyer, and audit stream — behind the one listener.
+// -groups N precreates groups g0..g(N-1) alongside the default group
+// (-name, where plain unlabeled connections land); -max-groups caps groups
+// created on demand by the first connection naming them (0 forbids dynamic
+// creation, negative is unlimited); -group-ttl garbage-collects dynamic
+// groups idle past the window. Every group derives its member keys with the
+// group ID as the leader identity, so the same username in two groups holds
+// unrelated keys — cross-tenant key bleed is impossible by construction.
+// Clients multiplex many group sessions over one TCP connection (the mux
+// framing in internal/wire); classic single-group clients keep working
+// unchanged. Multi-tenant mode excludes -standby/-repl-secret: replication
+// is per-group and not yet directory-aware.
+//
 // -metrics-addr enables metrics collection and serves an operations
 // endpoint on the given address: GET /metrics returns a flat JSON snapshot
 // of every counter, gauge, and latency histogram in the runtime
@@ -101,6 +116,10 @@ func run(args []string) error {
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics (JSON snapshot) and /debug/pprof on this address (empty disables collection)")
 		verbose     = fs.Bool("v", false, "verbose logging")
 
+		nGroups   = fs.Int("groups", 0, "multi-tenant: precreate this many groups g0..g(N-1) beside the default group")
+		maxGroups = fs.Int("max-groups", 0, "multi-tenant: cap on dynamically created groups (0 = none, <0 = unlimited)")
+		groupTTL  = fs.Duration("group-ttl", 0, "multi-tenant: collect dynamic groups idle this long (0 = never)")
+
 		replSecret  = fs.String("repl-secret", "", "path to the shared replication secret; derives K_r and enables leader replication")
 		standby     = fs.Bool("standby", false, "run as hot standby: replicate from -replicate-from, promote on primary death")
 		replFrom    = fs.String("replicate-from", "", "primary leader address to replicate from (standby mode)")
@@ -120,10 +139,27 @@ func run(args []string) error {
 	if *standby && *replSecret == "" {
 		return fmt.Errorf("-standby requires -repl-secret (the key the primary seals the replication stream with)")
 	}
-	users, err := loadUsers(*usersPath, *name)
+	if *nGroups < 0 {
+		return fmt.Errorf("-groups must be >= 0")
+	}
+	if *groupTTL < 0 {
+		return fmt.Errorf("-group-ttl must be >= 0")
+	}
+	multiTenant := *nGroups > 0 || *maxGroups != 0
+	if *groupTTL > 0 && !multiTenant {
+		return fmt.Errorf("-group-ttl requires multi-tenant mode (-groups or -max-groups)")
+	}
+	if multiTenant && *standby {
+		return fmt.Errorf("-standby is incompatible with multi-tenant mode: replication is per-group")
+	}
+	if multiTenant && *replSecret != "" {
+		return fmt.Errorf("-repl-secret is incompatible with multi-tenant mode: replication is per-group")
+	}
+	passwords, err := loadPasswords(*usersPath)
 	if err != nil {
 		return err
 	}
+	users := deriveUsers(passwords, *name)
 	policy, err := parsePolicy(*rekeyOn)
 	if err != nil {
 		return err
@@ -156,6 +192,18 @@ func run(args []string) error {
 		FanoutWorkers: *fanWorkers,
 		LKH:           *lkhOn,
 		LKHArity:      *lkhArity,
+	}
+
+	if multiTenant {
+		return runDirectory(directoryParams{
+			template:    cfg,
+			passwords:   passwords,
+			addr:        *addr,
+			metricsAddr: *metricsAddr,
+			groups:      *nGroups,
+			maxGroups:   *maxGroups,
+			ttl:         *groupTTL,
+		})
 	}
 
 	var leader *group.Leader
@@ -210,6 +258,80 @@ func run(args []string) error {
 		leader.Close()
 	}()
 	return leader.Serve(l)
+}
+
+// directoryParams carries the multi-tenant serving configuration: a leader
+// config template (per-group configs clone it with group-specific Name,
+// Tenant, and Users) plus the directory shape.
+type directoryParams struct {
+	template    group.Config
+	passwords   map[string]string
+	addr        string
+	metricsAddr string
+	groups      int
+	maxGroups   int
+	ttl         time.Duration
+}
+
+// runDirectory serves a multi-tenant daemon: a group directory behind one
+// shared listener accepting plain and multiplexed connections alike.
+func runDirectory(p directoryParams) error {
+	// Metrics must be live before the directory exists: precreated groups
+	// count into group_directory_groups at construction, and increments to a
+	// disabled registry are dropped.
+	if p.metricsAddr != "" {
+		srv, maddr, err := startMetricsServer(p.metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		log.Printf("enclaved: metrics on http://%s/metrics, pprof on http://%s/debug/pprof/", maddr, maddr)
+	}
+	precreate := make([]string, 0, p.groups+1)
+	precreate = append(precreate, p.template.Name)
+	for i := 0; i < p.groups; i++ {
+		g := fmt.Sprintf("g%d", i)
+		if g != p.template.Name {
+			precreate = append(precreate, g)
+		}
+	}
+	dir, err := group.NewDirectory(group.DirectoryConfig{
+		NewConfig: func(g string) (group.Config, error) {
+			cfg := p.template
+			cfg.Name = g
+			cfg.Tenant = g
+			// Per-group key derivation: the group ID is the leader identity
+			// in the derivation, so one password file yields unrelated keys
+			// per group — the isolation-by-construction boundary.
+			cfg.Users = deriveUsers(p.passwords, g)
+			return cfg, nil
+		},
+		Precreate:  precreate,
+		Default:    p.template.Name,
+		MaxDynamic: p.maxGroups,
+		TTL:        p.ttl,
+		Logf:       p.template.Logf,
+	})
+	if err != nil {
+		return err
+	}
+	nl, err := net.Listen("tcp", p.addr)
+	if err != nil {
+		dir.Close()
+		return err
+	}
+	log.Printf("enclaved: multi-tenant daemon on %s: %d groups precreated (default %q), dynamic cap %d, idle TTL %v",
+		nl.Addr(), len(precreate), p.template.Name, p.maxGroups, p.ttl)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		log.Printf("enclaved: %v, shutting down", sig)
+		nl.Close()
+		dir.Close()
+	}()
+	return dir.Serve(nl)
 }
 
 // standbyConfig carries what the hot-standby phase needs: the replication
@@ -302,15 +424,18 @@ func startMetricsServer(addr string) (*http.Server, string, error) {
 	return srv, ln.Addr().String(), nil
 }
 
-// loadUsers parses the "name:password" users file into long-term keys.
-func loadUsers(path, leader string) (map[string]crypto.Key, error) {
+// loadPasswords parses the "name:password" users file. Derivation into
+// long-term keys is separate (deriveUsers) because a multi-tenant daemon
+// derives the same password set once per group, bound to each group's
+// identity.
+func loadPasswords(path string) (map[string]string, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 
-	users := make(map[string]crypto.Key)
+	passwords := make(map[string]string)
 	sc := bufio.NewScanner(f)
 	lineNo := 0
 	for sc.Scan() {
@@ -323,15 +448,34 @@ func loadUsers(path, leader string) (map[string]crypto.Key, error) {
 		if !ok || name == "" {
 			return nil, fmt.Errorf("%s:%d: expected name:password", path, lineNo)
 		}
-		users[name] = crypto.DeriveKey(name, leader, password)
+		passwords[name] = password
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if len(users) == 0 {
+	if len(passwords) == 0 {
 		return nil, fmt.Errorf("%s: no users", path)
 	}
-	return users, nil
+	return passwords, nil
+}
+
+// deriveUsers binds a password set to one leader identity, yielding the
+// per-user long-term keys P_user for that group.
+func deriveUsers(passwords map[string]string, leader string) map[string]crypto.Key {
+	users := make(map[string]crypto.Key, len(passwords))
+	for name, password := range passwords {
+		users[name] = crypto.DeriveKey(name, leader, password)
+	}
+	return users
+}
+
+// loadUsers parses the users file and derives long-term keys for leader.
+func loadUsers(path, leader string) (map[string]crypto.Key, error) {
+	passwords, err := loadPasswords(path)
+	if err != nil {
+		return nil, err
+	}
+	return deriveUsers(passwords, leader), nil
 }
 
 // parsePolicy parses the -rekey flag.

@@ -211,3 +211,55 @@ func TestStandbyFlagValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestMultiTenantFlagValidation is the table-driven gate over the
+// multi-tenant flag surface: the new -groups/-max-groups/-group-ttl flags,
+// alone and combined with the existing -lkh and -standby/-repl-secret sets.
+// Cases that should pass validation use an unparsable listen address, so a
+// "too many colons" listen failure is the proof that flag validation
+// accepted the combination without ever serving.
+func TestMultiTenantFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	users := filepath.Join(dir, "users.txt")
+	if err := os.WriteFile(users, []byte("m0:pw\nm1:pw\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	secret := filepath.Join(dir, "repl.secret")
+	if err := os.WriteFile(secret, []byte("s3cret\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	const badAddr = "bad:addr:extra" // passes validation, fails at net.Listen
+	for _, tc := range []struct {
+		name    string
+		args    []string
+		wantErr string // substring of the expected error; "" means validation must pass
+	}{
+		{"negative groups", []string{"-groups", "-1", "-users", users}, "-groups"},
+		{"negative ttl", []string{"-groups", "2", "-group-ttl", "-1s", "-users", users}, "-group-ttl"},
+		{"ttl without multi-tenant", []string{"-group-ttl", "5s", "-users", users}, "-group-ttl"},
+		{"standby with groups", []string{"-standby", "-replicate-from", "127.0.0.1:1", "-repl-secret", secret, "-groups", "2", "-users", users}, "-standby"},
+		{"standby with max-groups", []string{"-standby", "-replicate-from", "127.0.0.1:1", "-repl-secret", secret, "-max-groups", "4", "-users", users}, "-standby"},
+		{"repl-secret with groups", []string{"-repl-secret", secret, "-groups", "2", "-users", users}, "-repl-secret"},
+		{"repl-secret with max-groups", []string{"-repl-secret", secret, "-max-groups", "-1", "-users", users}, "-repl-secret"},
+		{"groups with lkh", []string{"-groups", "2", "-lkh", "-users", users, "-addr", badAddr}, ""},
+		{"groups with lkh and arity", []string{"-groups", "2", "-lkh", "-lkh-arity", "4", "-users", users, "-addr", badAddr}, ""},
+		{"max-groups unlimited", []string{"-max-groups", "-1", "-users", users, "-addr", badAddr}, ""},
+		{"groups with ttl and coalesce", []string{"-groups", "3", "-group-ttl", "1s", "-rekey-coalesce", "5ms", "-users", users, "-addr", badAddr}, ""},
+		{"single-tenant lkh untouched", []string{"-lkh", "-users", users, "-addr", badAddr}, ""},
+	} {
+		err := run(tc.args)
+		if err == nil {
+			t.Errorf("%s: run returned nil (expected at least a listen failure)", tc.name)
+			continue
+		}
+		if tc.wantErr == "" {
+			if !strings.Contains(err.Error(), "too many colons") {
+				t.Errorf("%s: validation rejected a valid combination: %v", tc.name, err)
+			}
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

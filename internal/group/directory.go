@@ -1,0 +1,448 @@
+// Directory is the multi-tenant layer: one daemon process hosts thousands
+// of independent groups, each with its own Leader — own users, own group
+// key and epoch trajectory, own rekeyer, own audit stream — behind one
+// shared listener. The registry applies the PR 5 stripe pattern one level
+// up: a lock-striped group table in front of each group's lock-striped
+// member table, so group lookup (every routed connection) and group
+// creation (rare) never serialize process-wide.
+//
+// Isolation between groups is by construction, not by routing discipline:
+// every group's Leader derives member long-term keys with the group ID as
+// the leader identity (crypto.DeriveKey(user, group, password)), so the
+// same username in two groups holds unrelated keys, and group keys are
+// independently generated per Leader. A frame routed to the wrong group
+// fails authentication there; no shared state exists to bleed.
+package group
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"enclaves/internal/transport"
+)
+
+// DirectoryConfig configures the multi-tenant group registry.
+type DirectoryConfig struct {
+	// NewConfig builds the leader configuration for a group ID — the users
+	// it authorizes, its rekey policy, everything a single-tenant Config
+	// carries. Required. The Directory fills in Name and Tenant from the
+	// group ID when left empty.
+	NewConfig func(group string) (Config, error)
+	// Precreate lists group IDs created eagerly at construction. Precreated
+	// groups are permanent: never garbage-collected, never counted against
+	// MaxDynamic.
+	Precreate []string
+	// Default, when non-empty, is the group a plain (non-multiplexed)
+	// connection with no group label routes to — the backward-compatible
+	// single-group behavior. It must be listed in Precreate.
+	Default string
+	// MaxDynamic caps groups created on demand by the first connection that
+	// names them. Zero forbids dynamic creation entirely (only precreated
+	// groups exist); negative means unlimited.
+	MaxDynamic int
+	// TTL garbage-collects a dynamic group that has been idle (no
+	// connections, no members) and inactive for this long. Zero disables
+	// collection.
+	TTL time.Duration
+	// Stripes overrides the group-table stripe count (rounded up to a power
+	// of two; zero selects a default sized from GOMAXPROCS).
+	Stripes int
+	// Logf, if non-nil, receives diagnostic log lines.
+	Logf func(format string, args ...any)
+}
+
+// errUnknownGroup is returned by Lookup for a group that does not exist and
+// cannot be created (dynamic creation disabled or at capacity).
+var errUnknownGroup = errors.New("group: unknown group")
+
+// errDirectoryClosed is returned by operations on a closed Directory.
+var errDirectoryClosed = errors.New("group: directory closed")
+
+// dirEntry is one live group. lastActive is touched lock-free on every
+// lookup, so the GC's idleness clock never adds contention to routing.
+type dirEntry struct {
+	leader  *Leader
+	dynamic bool
+	// lastActive is the Unix-nano timestamp of the latest Lookup.
+	lastActive atomic.Int64
+}
+
+// dirStripe is one bucket of the group table; the same explicit Lock/Unlock
+// wrapper shape as the member registry's stripe, for the sealunderlock
+// analyzer.
+type dirStripe struct {
+	mu     sync.Mutex
+	groups map[string]*dirEntry
+	_      [24]byte // pad to discourage false sharing between adjacent stripes
+}
+
+// Lock acquires the stripe.
+func (s *dirStripe) Lock() { s.mu.Lock() }
+
+// Unlock releases the stripe.
+func (s *dirStripe) Unlock() { s.mu.Unlock() }
+
+// Directory is a running multi-tenant group registry. Safe for concurrent
+// use.
+//
+// Lock order: a dirStripe is leaf-like — nothing else is acquired while one
+// is held (leaders are created and closed outside the stripe critical
+// section).
+type Directory struct {
+	cfg     DirectoryConfig
+	logf    func(string, ...any)
+	stripes []dirStripe
+	mask    uint32
+
+	// dynamic counts live dynamically created groups against MaxDynamic;
+	// reservation happens by CAS before the (slow) leader construction, so
+	// a create storm cannot overshoot the cap.
+	dynamic atomic.Int64
+
+	// cmu guards conns, the raw sockets currently being served, so Close
+	// can unblock every demux loop.
+	cmu   sync.Mutex
+	conns map[net.Conn]struct{}
+
+	closed atomic.Bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewDirectory builds the registry and creates every precreated group.
+func NewDirectory(cfg DirectoryConfig) (*Directory, error) {
+	if cfg.NewConfig == nil {
+		return nil, errors.New("group: DirectoryConfig.NewConfig is required")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	shards := cfg.Stripes
+	if shards <= 0 {
+		shards = defaultShardCount()
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	d := &Directory{
+		cfg:     cfg,
+		logf:    logf,
+		stripes: make([]dirStripe, n),
+		mask:    uint32(n - 1),
+		conns:   make(map[net.Conn]struct{}),
+		stop:    make(chan struct{}),
+	}
+	for i := range d.stripes {
+		d.stripes[i].groups = make(map[string]*dirEntry)
+	}
+	if cfg.Default != "" {
+		found := false
+		for _, g := range cfg.Precreate {
+			if g == cfg.Default {
+				found = true
+				break
+			}
+		}
+		if !found {
+			d.Close()
+			return nil, fmt.Errorf("group: default group %q not in Precreate", cfg.Default)
+		}
+	}
+	for _, g := range cfg.Precreate {
+		if g == "" {
+			d.Close()
+			return nil, errors.New("group: empty group ID in Precreate")
+		}
+		if _, err := d.create(g, false); err != nil {
+			d.Close()
+			return nil, fmt.Errorf("group: precreate %q: %w", g, err)
+		}
+	}
+	if cfg.TTL > 0 {
+		d.wg.Add(1)
+		go d.gcLoop()
+	}
+	return d, nil
+}
+
+func (d *Directory) stripeFor(group string) *dirStripe {
+	return &d.stripes[fnv1a(group)&d.mask]
+}
+
+// Lookup resolves a group ID to its Leader, creating the group on demand
+// when dynamic creation permits. The steady-state path is one stripe lock
+// and a map probe; construction happens outside any lock, with racing
+// creators converging on a single winner.
+func (d *Directory) Lookup(group string) (*Leader, error) {
+	if d.closed.Load() {
+		return nil, errDirectoryClosed
+	}
+	st := d.stripeFor(group)
+	st.Lock()
+	e := st.groups[group]
+	st.Unlock()
+	if e != nil {
+		e.lastActive.Store(time.Now().UnixNano())
+		return e.leader, nil
+	}
+	return d.create(group, true)
+}
+
+// create builds a group's Leader and installs it. dynamic groups reserve a
+// slot against MaxDynamic first and are eligible for TTL collection.
+func (d *Directory) create(group string, dynamic bool) (*Leader, error) {
+	if dynamic {
+		max := int64(d.cfg.MaxDynamic)
+		if max == 0 {
+			return nil, fmt.Errorf("%w: %q", errUnknownGroup, group)
+		}
+		if max > 0 {
+			// Reserve before constructing, give back on any failure path.
+			for {
+				cur := d.dynamic.Load()
+				if cur >= max {
+					return nil, fmt.Errorf("%w: %q (dynamic group limit %d reached)", errUnknownGroup, group, max)
+				}
+				if d.dynamic.CompareAndSwap(cur, cur+1) {
+					break
+				}
+			}
+		} else {
+			d.dynamic.Add(1)
+		}
+	}
+	release := func() {
+		if dynamic {
+			d.dynamic.Add(-1)
+		}
+	}
+
+	cfg, err := d.cfg.NewConfig(group)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	if cfg.Name == "" {
+		cfg.Name = group
+	}
+	if cfg.Tenant == "" {
+		cfg.Tenant = group
+	}
+	ld, err := NewLeader(cfg)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	e := &dirEntry{leader: ld, dynamic: dynamic}
+	e.lastActive.Store(time.Now().UnixNano())
+
+	st := d.stripeFor(group)
+	st.Lock()
+	if prior := st.groups[group]; prior != nil {
+		// Lost the creation race: the winner's leader is the group.
+		st.Unlock()
+		ld.Close()
+		release()
+		prior.lastActive.Store(time.Now().UnixNano())
+		return prior.leader, nil
+	}
+	if d.closed.Load() {
+		st.Unlock()
+		ld.Close()
+		release()
+		return nil, errDirectoryClosed
+	}
+	st.groups[group] = e
+	st.Unlock()
+	mGroups.Add(1)
+	d.logf("group: directory created %q (dynamic=%v)", group, dynamic)
+	return ld, nil
+}
+
+// gcLoop sweeps dynamic groups that have been idle past the TTL.
+func (d *Directory) gcLoop() {
+	defer d.wg.Done()
+	every := d.cfg.TTL / 2
+	if every < 10*time.Millisecond {
+		every = 10 * time.Millisecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			d.sweep(time.Now())
+		}
+	}
+}
+
+// sweep collects every dynamic group whose last activity predates the TTL
+// and whose leader is idle. The idle check runs outside the stripe lock;
+// removal re-checks under the lock so a lookup that raced in keeps its
+// group.
+func (d *Directory) sweep(now time.Time) {
+	cutoff := now.Add(-d.cfg.TTL).UnixNano()
+	for i := range d.stripes {
+		st := &d.stripes[i]
+		var candidates []*dirEntry
+		var names []string
+		st.Lock()
+		for name, e := range st.groups {
+			if e.dynamic && e.lastActive.Load() < cutoff {
+				candidates = append(candidates, e)
+				names = append(names, name)
+			}
+		}
+		st.Unlock()
+		for j, e := range candidates {
+			if !e.leader.Idle() {
+				continue
+			}
+			name := names[j]
+			st.Lock()
+			// Re-check under the lock: a connection may have touched the
+			// group between the idle check and now.
+			if st.groups[name] != e || e.lastActive.Load() >= cutoff {
+				st.Unlock()
+				continue
+			}
+			delete(st.groups, name)
+			st.Unlock()
+			// A routed connection can still hold this *Leader; Close makes
+			// its in-flight handshakes fail cleanly (ServeConn checks
+			// closed), and a later Lookup creates a fresh group.
+			e.leader.Close()
+			dropTenant(name)
+			d.dynamic.Add(-1)
+			mGroups.Add(-1)
+			mGroupsCollected.Inc()
+			d.logf("group: directory collected idle group %q", name)
+		}
+	}
+}
+
+// Groups returns the live group IDs, sorted.
+func (d *Directory) Groups() []string {
+	var out []string
+	for i := range d.stripes {
+		st := &d.stripes[i]
+		st.Lock()
+		for name := range st.groups {
+			out = append(out, name)
+		}
+		st.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of live groups.
+func (d *Directory) Size() int {
+	n := 0
+	for i := range d.stripes {
+		st := &d.stripes[i]
+		st.Lock()
+		n += len(st.groups)
+		st.Unlock()
+	}
+	return n
+}
+
+// route is the transport.MuxConfig Accept hook: resolve the connection's
+// group (empty label means the default group, the plain-connection path)
+// and hand the connection to its leader. Must not block — ServeConn only
+// registers a goroutine.
+func (d *Directory) route(group string, c transport.Conn) {
+	if group == "" {
+		if d.cfg.Default == "" {
+			d.logf("group: unlabeled connection with no default group, dropping")
+			c.Close()
+			return
+		}
+		group = d.cfg.Default
+	}
+	ld, err := d.Lookup(group)
+	if err != nil {
+		d.logf("group: route to %q: %v", group, err)
+		c.Close()
+		return
+	}
+	if err := ld.ServeConn(c); err != nil {
+		d.logf("group: route to %q: %v", group, err)
+	}
+}
+
+// Serve accepts and routes connections from a shared raw listener until the
+// listener fails or Close is called. Each connection may be plain (one
+// session, routed to the default group) or multiplexed (many sessions, each
+// labeled with its group). It blocks; run it in a goroutine.
+func (d *Directory) Serve(nl net.Listener) error {
+	muxCfg := transport.MuxConfig{Accept: d.route, Logf: d.cfg.Logf}
+	for {
+		nc, err := nl.Accept()
+		if err != nil {
+			if d.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("group: directory accept: %w", err)
+		}
+		d.cmu.Lock()
+		if d.closed.Load() {
+			d.cmu.Unlock()
+			nc.Close()
+			return nil
+		}
+		d.conns[nc] = struct{}{}
+		d.cmu.Unlock()
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			transport.ServeMuxConn(nc, muxCfg)
+			d.cmu.Lock()
+			delete(d.conns, nc)
+			d.cmu.Unlock()
+		}()
+	}
+}
+
+// Close stops the GC, waits for connection handlers, and closes every
+// group's leader. Listeners passed to Serve must be closed by the caller
+// (Close cannot reach them); Serve then returns nil.
+func (d *Directory) Close() {
+	if d.closed.Swap(true) {
+		return
+	}
+	close(d.stop)
+	// Unblock every demux loop: closing the raw sockets ends their reads,
+	// which in turn closes every stream and lets leader-side handlers
+	// finish.
+	d.cmu.Lock()
+	for nc := range d.conns {
+		nc.Close()
+	}
+	d.cmu.Unlock()
+	d.wg.Wait()
+	for i := range d.stripes {
+		st := &d.stripes[i]
+		st.Lock()
+		entries := make([]*dirEntry, 0, len(st.groups))
+		for _, e := range st.groups {
+			entries = append(entries, e)
+		}
+		st.groups = make(map[string]*dirEntry)
+		st.Unlock()
+		for _, e := range entries {
+			e.leader.Close()
+			mGroups.Add(-1)
+		}
+	}
+}

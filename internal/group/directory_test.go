@@ -1,0 +1,364 @@
+package group
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"enclaves/internal/crypto"
+	"enclaves/internal/member"
+	"enclaves/internal/transport"
+)
+
+// dirConfig is the standard test DirectoryConfig: every group authorizes
+// users m0..m3 with per-group derived keys — the same derivation enclaved
+// uses, which is what makes cross-group key bleed impossible by
+// construction.
+func dirConfig(t *testing.T) DirectoryConfig {
+	t.Helper()
+	return DirectoryConfig{
+		NewConfig: func(group string) (Config, error) {
+			users := make(map[string]crypto.Key)
+			for i := 0; i < 4; i++ {
+				u := fmt.Sprintf("m%d", i)
+				users[u] = crypto.DeriveKey(u, group, "pw-"+u)
+			}
+			return Config{Users: users, Rekey: DefaultRekeyPolicy()}, nil
+		},
+	}
+}
+
+// startDirectory serves a Directory on a loopback listener and returns its
+// address.
+func startDirectory(t *testing.T, cfg DirectoryConfig) (*Directory, string) {
+	t.Helper()
+	d, err := NewDirectory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go d.Serve(nl)
+	t.Cleanup(func() {
+		nl.Close()
+		d.Close()
+	})
+	return d, nl.Addr().String()
+}
+
+// joinVia opens a mux stream for group and runs the full member join on it.
+func joinVia(t *testing.T, m *transport.Mux, group, user string) *member.Member {
+	t.Helper()
+	c, err := m.Open(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := member.Join(c, user, group, crypto.DeriveKey(user, group, "pw-"+user))
+	if err != nil {
+		t.Fatalf("join %s/%s: %v", group, user, err)
+	}
+	if err := mb.WaitReady(5 * time.Second); err != nil {
+		t.Fatalf("ready %s/%s: %v", group, user, err)
+	}
+	return mb
+}
+
+// TestDirectoryIsolation pins per-group isolation: groups sharing one
+// daemon (and here one socket) have independent epochs, independent group
+// keys, and no traffic bleed — a message multicast in one group is never
+// seen by a member of another.
+func TestDirectoryIsolation(t *testing.T) {
+	cfg := dirConfig(t)
+	cfg.MaxDynamic = -1
+	d, addr := startDirectory(t, cfg)
+
+	m, err := transport.DialMux(addr, transport.MuxConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	a0 := joinVia(t, m, "alpha", "m0")
+	a1 := joinVia(t, m, "alpha", "m1")
+	b0 := joinVia(t, m, "beta", "m0") // same username, different group
+	defer a0.Leave()
+	defer a1.Leave()
+	defer b0.Leave()
+
+	// Same user in different groups holds unrelated long-term keys and
+	// unrelated group keys.
+	ka, _ := a0.GroupKey()
+	kb, _ := b0.GroupKey()
+	if ka.Equal(kb) {
+		t.Fatal("group keys of alpha and beta are equal")
+	}
+	if crypto.DeriveKey("m0", "alpha", "pw-m0").Equal(crypto.DeriveKey("m0", "beta", "pw-m0")) {
+		t.Fatal("per-group derived long-term keys are equal")
+	}
+
+	// Drive epochs apart: churn beta only.
+	la, err := d.Lookup("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := d.Lookup("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochA := la.Epoch()
+	for i := 0; i < 3; i++ {
+		if err := lb.Rekey(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if la.Epoch() != epochA {
+		t.Fatalf("alpha epoch moved (%d -> %d) when beta rekeyed", epochA, la.Epoch())
+	}
+	if lb.Epoch() <= epochA {
+		t.Fatalf("beta epoch %d did not advance past %d", lb.Epoch(), epochA)
+	}
+
+	// Multicast in alpha; beta's member must never see it.
+	if err := a0.SendData([]byte("alpha-secret")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		done := make(chan member.Event, 1)
+		go func() {
+			ev, err := a1.Next()
+			if err == nil {
+				done <- ev
+			}
+		}()
+		var ev member.Event
+		select {
+		case ev = <-done:
+		case <-deadline:
+			t.Fatal("alpha multicast never arrived")
+		}
+		if ev.Kind == member.EventData {
+			if string(ev.Data) != "alpha-secret" {
+				t.Fatalf("alpha data corrupted: %q", ev.Data)
+			}
+			break
+		}
+	}
+	// Membership of beta is exactly {m0}: no cross-group membership bleed.
+	if got := lb.Members(); len(got) != 1 || got[0] != "m0" {
+		t.Fatalf("beta members = %v, want [m0]", got)
+	}
+	if got := la.Members(); len(got) != 2 {
+		t.Fatalf("alpha members = %v, want 2", got)
+	}
+}
+
+// TestDirectoryPlainConnRoutesToDefault pins the backward-compatible path:
+// a classic unmultiplexed client on the shared listener lands in the
+// default group.
+func TestDirectoryPlainConnRoutesToDefault(t *testing.T) {
+	cfg := dirConfig(t)
+	cfg.Precreate = []string{"main"}
+	cfg.Default = "main"
+	d, addr := startDirectory(t, cfg)
+
+	c, err := transport.DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := member.Join(c, "m0", "main", crypto.DeriveKey("m0", "main", "pw-m0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mb.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	defer mb.Leave()
+	ld, err := d.Lookup("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ld.Members(); len(got) != 1 || got[0] != "m0" {
+		t.Fatalf("main members = %v, want [m0]", got)
+	}
+}
+
+// TestDirectoryLimits pins creation policy: MaxDynamic caps on-demand
+// groups, zero forbids them, and precreated groups are exempt.
+func TestDirectoryLimits(t *testing.T) {
+	cfg := dirConfig(t)
+	cfg.Precreate = []string{"pre0", "pre1"}
+	cfg.MaxDynamic = 2
+	d, err := NewDirectory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	for _, g := range []string{"pre0", "pre1", "dyn0", "dyn1"} {
+		if _, err := d.Lookup(g); err != nil {
+			t.Fatalf("lookup %q: %v", g, err)
+		}
+	}
+	if _, err := d.Lookup("dyn2"); !errors.Is(err, errUnknownGroup) {
+		t.Fatalf("lookup over cap: err = %v, want errUnknownGroup", err)
+	}
+	if got := d.Size(); got != 4 {
+		t.Fatalf("Size = %d, want 4", got)
+	}
+
+	// Zero MaxDynamic: only precreated groups exist.
+	cfg2 := dirConfig(t)
+	cfg2.Precreate = []string{"only"}
+	d2, err := NewDirectory(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if _, err := d2.Lookup("other"); !errors.Is(err, errUnknownGroup) {
+		t.Fatalf("dynamic creation with MaxDynamic=0: err = %v", err)
+	}
+
+	// Default must be precreated.
+	cfg3 := dirConfig(t)
+	cfg3.Default = "ghost"
+	if _, err := NewDirectory(cfg3); err == nil {
+		t.Fatal("Default outside Precreate accepted")
+	}
+}
+
+// TestDirectoryGC pins the idle-TTL collector: a dynamic group whose
+// members all left is collected after the TTL, a precreated group never is,
+// and a collected group is recreated fresh on the next lookup.
+func TestDirectoryGC(t *testing.T) {
+	cfg := dirConfig(t)
+	cfg.Precreate = []string{"keep"}
+	cfg.MaxDynamic = -1
+	cfg.TTL = 50 * time.Millisecond
+	d, addr := startDirectory(t, cfg)
+
+	m, err := transport.DialMux(addr, transport.MuxConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	mb := joinVia(t, m, "ephemeral", "m0")
+	ld, err := d.Lookup("ephemeral")
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochBefore := ld.Epoch()
+
+	// While the member is connected, the group survives any number of TTLs.
+	time.Sleep(4 * cfg.TTL)
+	if got := d.Size(); got != 2 {
+		t.Fatalf("Size with live member = %d, want 2", got)
+	}
+
+	if err := mb.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Size() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle dynamic group never collected; groups = %v", d.Groups())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := d.Groups(); len(got) != 1 || got[0] != "keep" {
+		t.Fatalf("surviving groups = %v, want [keep]", got)
+	}
+
+	// Recreation is from scratch: fresh key, epoch restarts.
+	mb2 := joinVia(t, m, "ephemeral", "m0")
+	defer mb2.Leave()
+	ld2, err := d.Lookup("ephemeral")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld2 == ld {
+		t.Fatal("collected group's leader was reused")
+	}
+	if e := ld2.Epoch(); e > epochBefore+1 {
+		t.Fatalf("recreated group epoch %d continues old trajectory (was %d)", e, epochBefore)
+	}
+}
+
+// TestDirectoryThousandGroups pins the tentpole acceptance criterion: one
+// process serves >= 1024 concurrent groups, each with a real joined member,
+// all over a handful of multiplexed sockets.
+func TestDirectoryThousandGroups(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024 groups is a long test")
+	}
+	cfg := dirConfig(t)
+	cfg.MaxDynamic = -1
+	d, addr := startDirectory(t, cfg)
+
+	const groups = 1024
+	const sockets = 8
+	muxes := make([]*transport.Mux, sockets)
+	for i := range muxes {
+		m, err := transport.DialMux(addr, transport.MuxConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		muxes[i] = m
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, groups)
+	sem := make(chan struct{}, 64)
+	members := make([]*member.Member, groups)
+	for i := 0; i < groups; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			group := fmt.Sprintf("g%04d", i)
+			c, err := muxes[i%sockets].Open(group)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			mb, err := member.Join(c, "m0", group, crypto.DeriveKey("m0", group, "pw-m0"))
+			if err != nil {
+				errCh <- fmt.Errorf("%s: %w", group, err)
+				return
+			}
+			if err := mb.WaitReady(30 * time.Second); err != nil {
+				errCh <- fmt.Errorf("%s: %w", group, err)
+				return
+			}
+			members[i] = mb
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if got := d.Size(); got != groups {
+		t.Fatalf("Size = %d, want %d", got, groups)
+	}
+	// Every group is independently keyed and at its own (join-driven) epoch.
+	for _, g := range []string{"g0000", "g0511", "g1023"} {
+		ld, err := d.Lookup(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := len(ld.Members()); n != 1 {
+			t.Fatalf("%s members = %d, want 1", g, n)
+		}
+	}
+	for _, mb := range members {
+		mb.Leave()
+	}
+}

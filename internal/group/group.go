@@ -110,6 +110,11 @@ type Config struct {
 	// quiescent. Zero disables pings (the standby then relies on organic
 	// delta traffic). Only meaningful with a valid ReplKey.
 	ReplPing time.Duration
+	// Tenant, when non-empty, labels this leader's activity in the
+	// per-tenant metric families (group_tenant_*), so a multi-tenant
+	// daemon's /metrics distinguishes groups. Empty (the single-tenant
+	// default) records nothing per-tenant.
+	Tenant string
 }
 
 // defaultOutboxLimit bounds per-member outbound queues unless overridden.
@@ -127,6 +132,9 @@ type Leader struct {
 	audit     *auditor
 	liveness  Liveness
 	outboxCap int
+	// tm labels this leader's activity in the per-tenant metric families;
+	// nil (no tenant label) makes every recording a no-op.
+	tm *tenantMetrics
 
 	// reg is the sharded member registry. Mutations happen under mu (plus
 	// the owning stripe); reads — relay snapshots, liveness sweeps,
@@ -325,6 +333,7 @@ func NewLeader(cfg Config) (*Leader, error) {
 		audit:     audit,
 		liveness:  cfg.Liveness,
 		outboxCap: outboxCap,
+		tm:        newTenantMetrics(cfg.Tenant),
 		reg:       newRegistry(cfg.Shards),
 		fan:       fan,
 		users:     users,
@@ -448,6 +457,36 @@ func (g *Leader) Serve(l transport.Listener) error {
 	}
 }
 
+// ServeConn serves one already-accepted connection — the entry point a
+// multi-tenant router (Directory) uses after resolving the connection's
+// group, where Serve's own accept loop never runs. It returns immediately;
+// the protocol runs on a leader-tracked goroutine. The goroutine is
+// registered under g.mu with a closed check, so ServeConn can never race a
+// concurrent Close into adding work after the final wg.Wait.
+func (g *Leader) ServeConn(conn transport.Conn) error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		conn.Close()
+		return errLeaderClosed
+	}
+	g.wg.Add(1)
+	g.mu.Unlock()
+	go func() {
+		defer g.wg.Done()
+		g.serveConn(conn)
+	}()
+	return nil
+}
+
+// Idle reports whether the leader currently has no live connections and no
+// accepted members — the Directory's garbage-collection predicate.
+func (g *Leader) Idle() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.conns) == 0 && g.reg.size() == 0
+}
+
 // Close disconnects every connection (accepted or mid-handshake) and stops
 // serving. A pending coalesced rekey is cancelled: there is no one left to
 // rotate for.
@@ -524,6 +563,7 @@ func (g *Leader) rekeyLocked() error {
 	g.epoch++
 	g.logf("group: rekey to epoch %d", g.epoch)
 	mRekeys.Inc()
+	g.tm.rekey(g.epoch)
 	g.audit.emit(Event{Kind: EventRekeyed, Epoch: g.epoch})
 	g.replPublish(replica.Delta{Kind: wire.ReplRekey, Epoch: g.epoch, GroupKey: kg})
 	g.broadcastAdminLocked(wire.NewGroupKey{Epoch: g.epoch, Key: kg}, "")
@@ -548,6 +588,7 @@ func (g *Leader) Expel(user string) error {
 	}
 	mExpels.Inc()
 	mMembers.Add(-1)
+	g.tm.left()
 	g.departedLocked(user, true)
 	// The audit event is stamped while mu is still held: g.epoch here is
 	// exactly the epoch the expulsion rotated to, whereas re-reading it
@@ -690,6 +731,7 @@ func (g *Leader) runMember(s *memberConn) {
 	if g.reg.remove(s) {
 		mLeaves.Inc()
 		mMembers.Add(-1)
+		g.tm.left()
 		g.departedLocked(s.user, false)
 		g.audit.emit(Event{Kind: EventLeft, User: s.user, Epoch: g.epoch, Detail: "connection lost"})
 	}
@@ -874,8 +916,10 @@ func (g *Leader) startResume(conn transport.Conn, first wire.Envelope) *memberCo
 	}
 	if displaced := g.reg.insert(s); displaced == nil {
 		mMembers.Add(1)
+		g.tm.memberDelta(1)
 	}
 	mResumes.Inc()
+	g.tm.joined()
 	g.logf("group: %s resumed (members: %d)", user, g.reg.size())
 	g.audit.emit(Event{Kind: EventResumed, User: user, Epoch: g.epoch})
 	g.broadcastAdminLocked(wire.MemberJoined{Name: user}, user)
@@ -994,6 +1038,7 @@ func (g *Leader) handleProtocol(s *memberConn, env wire.Envelope) bool {
 		if g.reg.remove(s) {
 			mLeaves.Inc()
 			mMembers.Add(-1)
+			g.tm.left()
 			g.departedLocked(s.user, false)
 			g.logf("group: %s left", s.user)
 			g.audit.emit(Event{Kind: EventLeft, User: s.user, Epoch: g.epoch})
@@ -1032,9 +1077,11 @@ func (g *Leader) sealFrame(s *memberConn, f outFrame) (wire.Envelope, bool) {
 func (g *Leader) acceptLocked(s *memberConn) {
 	if displaced := g.reg.insert(s); displaced == nil {
 		mMembers.Add(1)
+		g.tm.memberDelta(1)
 	}
 	g.logf("group: %s joined (members: %d)", s.user, g.reg.size())
 	mJoins.Inc()
+	g.tm.joined()
 	g.audit.emit(Event{Kind: EventJoined, User: s.user, Epoch: g.epoch})
 	g.joinTreeLocked(s.user)
 	s.mu.Lock()

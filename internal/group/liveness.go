@@ -158,6 +158,7 @@ func (g *Leader) evictLocked(s *memberConn, detail string) {
 	}
 	mEvictions.Inc()
 	mMembers.Add(-1)
+	g.tm.left()
 	s.out.Close()
 	s.conn.Close()
 	g.logf("group: evicted %s: %s", s.user, detail)

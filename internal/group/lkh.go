@@ -75,6 +75,7 @@ func (g *Leader) rekeyTreeLocked() error {
 	g.epoch++
 	g.logf("group: rekey to epoch %d (%d subtree updates)", g.epoch, len(ups))
 	mRekeys.Inc()
+	g.tm.rekey(g.epoch)
 	g.audit.emit(Event{Kind: EventRekeyed, Epoch: g.epoch})
 	g.replTreeLocked()
 	g.replPublish(replica.Delta{Kind: wire.ReplRekey, Epoch: g.epoch, GroupKey: g.groupKey})

@@ -49,6 +49,22 @@ var (
 	mMembers     = metrics.NewGauge("group_members")
 	mOutboxDepth = metrics.NewStripedGauge("group_outbox_depth", 32)
 
+	// Directory instruments: live groups hosted by this process and dynamic
+	// groups retired by the idle-TTL collector.
+	mGroups          = metrics.NewGauge("group_directory_groups")
+	mGroupsCollected = metrics.NewCounter("group_directory_collected_total")
+
+	// Per-tenant families: in a multi-tenant daemon (Directory) every Leader
+	// carries a tenant label, and these break the process-wide totals above
+	// down by group so /metrics distinguishes tenants. A tenant's children
+	// are dropped when its group is garbage-collected, keeping the families
+	// proportional to live groups.
+	mTenantJoins   = metrics.NewCounterVec("group_tenant_joins_total")
+	mTenantLeaves  = metrics.NewCounterVec("group_tenant_leaves_total")
+	mTenantRekeys  = metrics.NewCounterVec("group_tenant_rekeys_total")
+	mTenantMembers = metrics.NewGaugeVec("group_tenant_members")
+	mTenantEpoch   = metrics.NewGaugeVec("group_tenant_epoch")
+
 	// mAckLatency times AdminMsg seal -> authenticated ack, the round trip
 	// that gates the whole pipeline. mBroadcastHold times how long an admin
 	// broadcast holds the global leader lock — the contention a broadcast
@@ -59,3 +75,71 @@ var (
 	// mSealLatency times one per-member AEAD seal in the writer goroutine.
 	mSealLatency = metrics.NewHistogram("group_seal_latency_us")
 )
+
+// tenantMetrics is one leader's handle on the per-tenant families. A nil
+// handle (single-tenant leader, no label) makes every method a no-op, so the
+// hot paths carry no conditional clutter.
+type tenantMetrics struct {
+	label  string
+	joins  *metrics.Counter
+	leaves *metrics.Counter
+	rekeys *metrics.Counter
+	count  *metrics.Gauge
+	epoch  *metrics.Gauge
+}
+
+func newTenantMetrics(label string) *tenantMetrics {
+	if label == "" {
+		return nil
+	}
+	return &tenantMetrics{
+		label:  label,
+		joins:  mTenantJoins.With(label),
+		leaves: mTenantLeaves.With(label),
+		rekeys: mTenantRekeys.With(label),
+		count:  mTenantMembers.With(label),
+		epoch:  mTenantEpoch.With(label),
+	}
+}
+
+// joined counts one join (or resume); memberDelta tracks the live member
+// count separately because a rejoin that displaces a live session is a join
+// without a count change.
+func (t *tenantMetrics) joined() {
+	if t != nil {
+		t.joins.Inc()
+	}
+}
+
+// left counts one departure of any kind — voluntary leave, eviction, or
+// expulsion — paired with its count decrement (departures are only recorded
+// when the member was still registered, so the pairing is unconditional).
+func (t *tenantMetrics) left() {
+	if t != nil {
+		t.leaves.Inc()
+		t.count.Add(-1)
+	}
+}
+
+func (t *tenantMetrics) memberDelta(d int64) {
+	if t != nil {
+		t.count.Add(d)
+	}
+}
+
+func (t *tenantMetrics) rekey(epoch uint64) {
+	if t != nil {
+		t.rekeys.Inc()
+		t.epoch.Set(int64(epoch))
+	}
+}
+
+// dropTenant removes a garbage-collected group's children from every tenant
+// family.
+func dropTenant(label string) {
+	mTenantJoins.Remove(label)
+	mTenantLeaves.Remove(label)
+	mTenantRekeys.Remove(label)
+	mTenantMembers.Remove(label)
+	mTenantEpoch.Remove(label)
+}

@@ -1,0 +1,124 @@
+// Labeled instrument families for the multi-tenant daemon: one registered
+// name fans out into per-label children (one per group/tenant), so a single
+// /metrics snapshot distinguishes tenants without a registry entry per
+// group. Children are created on first use and removed when their tenant is
+// garbage-collected, keeping the family's footprint proportional to *live*
+// groups rather than every group ever seen.
+package metrics
+
+import "sync"
+
+// CounterVec is a family of Counters keyed by a label value.
+type CounterVec struct {
+	name string
+
+	mu       sync.RWMutex
+	children map[string]*Counter
+}
+
+// NewCounterVec registers a labeled counter family with Default.
+func NewCounterVec(name string) *CounterVec {
+	v := &CounterVec{name: name, children: make(map[string]*Counter)}
+	Default.register(name, v)
+	return v
+}
+
+// With returns the child counter for label, creating it on first use. The
+// steady-state path is one RLock and a map probe; creation takes the write
+// lock with a double-check so racing firsts converge on one child.
+func (v *CounterVec) With(label string) *Counter {
+	v.mu.RLock()
+	c := v.children[label]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.children[label]; c == nil {
+		c = &Counter{name: v.name + "{" + label + "}"}
+		v.children[label] = c
+	}
+	return c
+}
+
+// Remove drops the child for label (tenant GC). A later With recreates it
+// from zero.
+func (v *CounterVec) Remove(label string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.children, label)
+}
+
+// Labels returns the number of live children.
+func (v *CounterVec) Labels() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.children)
+}
+
+func (v *CounterVec) snapshotValue() any {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]uint64, len(v.children))
+	for label, c := range v.children {
+		out[label] = c.Value()
+	}
+	return out
+}
+
+// GaugeVec is a family of Gauges keyed by a label value.
+type GaugeVec struct {
+	name string
+
+	mu       sync.RWMutex
+	children map[string]*Gauge
+}
+
+// NewGaugeVec registers a labeled gauge family with Default.
+func NewGaugeVec(name string) *GaugeVec {
+	v := &GaugeVec{name: name, children: make(map[string]*Gauge)}
+	Default.register(name, v)
+	return v
+}
+
+// With returns the child gauge for label, creating it on first use.
+func (v *GaugeVec) With(label string) *Gauge {
+	v.mu.RLock()
+	g := v.children[label]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g = v.children[label]; g == nil {
+		g = &Gauge{name: v.name + "{" + label + "}"}
+		v.children[label] = g
+	}
+	return g
+}
+
+// Remove drops the child for label (tenant GC).
+func (v *GaugeVec) Remove(label string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.children, label)
+}
+
+// Labels returns the number of live children.
+func (v *GaugeVec) Labels() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.children)
+}
+
+func (v *GaugeVec) snapshotValue() any {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]int64, len(v.children))
+	for label, g := range v.children {
+		out[label] = g.Value()
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterVec(t *testing.T) {
+	Enable()
+	defer Disable()
+	v := NewCounterVec("test_vec_counter_total")
+	v.With("g0").Inc()
+	v.With("g0").Add(2)
+	v.With("g1").Inc()
+	if got := v.With("g0").Value(); got != 3 {
+		t.Errorf("g0 = %d, want 3", got)
+	}
+	if got := v.With("g1").Value(); got != 1 {
+		t.Errorf("g1 = %d, want 1", got)
+	}
+	// The same label always resolves to the same child.
+	if v.With("g0") != v.With("g0") {
+		t.Error("With returned distinct children for one label")
+	}
+	snap := v.snapshotValue().(map[string]uint64)
+	if snap["g0"] != 3 || snap["g1"] != 1 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	// Remove drops state; recreation starts from zero.
+	v.Remove("g0")
+	if got := v.Labels(); got != 1 {
+		t.Errorf("Labels after Remove = %d, want 1", got)
+	}
+	if got := v.With("g0").Value(); got != 0 {
+		t.Errorf("recreated child = %d, want 0", got)
+	}
+}
+
+func TestGaugeVec(t *testing.T) {
+	Enable()
+	defer Disable()
+	v := NewGaugeVec("test_vec_gauge")
+	v.With("a").Set(7)
+	v.With("b").Add(-2)
+	if got := v.With("a").Value(); got != 7 {
+		t.Errorf("a = %d, want 7", got)
+	}
+	snap := v.snapshotValue().(map[string]int64)
+	if snap["a"] != 7 || snap["b"] != -2 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	v.Remove("a")
+	v.Remove("a") // idempotent
+	if got := v.Labels(); got != 1 {
+		t.Errorf("Labels = %d, want 1", got)
+	}
+}
+
+// TestVecSnapshotNested checks the registry snapshot embeds families as
+// nested objects keyed by label.
+func TestVecSnapshotNested(t *testing.T) {
+	Enable()
+	defer Disable()
+	r := NewRegistry()
+	v := &CounterVec{name: "tenant_joins_total", children: make(map[string]*Counter)}
+	r.register(v.name, v)
+	v.With("alpha").Add(5)
+	v.With("beta").Inc()
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]map[string]uint64
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatalf("snapshot JSON: %v\n%s", err, sb.String())
+	}
+	if out["tenant_joins_total"]["alpha"] != 5 || out["tenant_joins_total"]["beta"] != 1 {
+		t.Errorf("nested snapshot = %v", out)
+	}
+}
+
+// TestVecConcurrent hammers With/Remove/snapshot from many goroutines; the
+// -race run is the assertion.
+func TestVecConcurrent(t *testing.T) {
+	Enable()
+	defer Disable()
+	v := &CounterVec{name: "test_vec_race", children: make(map[string]*Counter)}
+	labels := []string{"g0", "g1", "g2", "g3"}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				label := labels[(i+j)%len(labels)]
+				v.With(label).Inc()
+				if j%97 == 0 {
+					v.Remove(label)
+				}
+				if j%31 == 0 {
+					_ = v.snapshotValue()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -2,33 +2,72 @@ package transport
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"enclaves/internal/wire"
 )
 
+// DefaultWriteBuf sizes the buffered writer wrapped around network
+// connections. The batched-flush path (Conn.SendBatch, PR 3) collapses a
+// drained outbox into one flush; a buffer large enough to hold a whole
+// drained backlog turns that flush into a single write syscall instead of
+// several. 32 KiB holds ~hundreds of admin frames or a handful of full-MTU
+// application frames without approaching the per-connection memory budget of
+// a many-thousand-connection daemon.
+const DefaultWriteBuf = 32 << 10
+
 // tcpConn adapts a net.Conn to the framed Conn interface.
 type tcpConn struct {
-	conn net.Conn
+	conn   net.Conn
+	closed atomic.Bool
 
 	sendMu sync.Mutex
 	w      *bufio.Writer
 
 	recvMu sync.Mutex
 	r      *bufio.Reader
+	// pending is an already-decoded envelope handed back by a server that
+	// sniffed the connection's first frame to pick a framing (see
+	// ServeMuxConn); the first Recv returns it.
+	pending *wire.Envelope
 }
 
 var _ Conn = (*tcpConn)(nil)
 
 // NewNetConn wraps an established net.Conn (TCP, Unix socket, net.Pipe) as
-// a framed transport connection.
+// a framed transport connection with the default write buffer. TCP
+// connections get TCP_NODELAY set explicitly: the transport does its own
+// write coalescing (buffered writer + batched flush), so Nagle's algorithm
+// could only add latency on top, never save a syscall.
 func NewNetConn(c net.Conn) Conn {
+	return NewNetConnSize(c, DefaultWriteBuf)
+}
+
+// NewNetConnSize is NewNetConn with an explicit write-buffer size in bytes
+// (<= 0 selects DefaultWriteBuf).
+func NewNetConnSize(c net.Conn, writeBuf int) Conn {
+	if writeBuf <= 0 {
+		writeBuf = DefaultWriteBuf
+	}
+	setNoDelay(c)
 	return &tcpConn{
 		conn: c,
-		w:    bufio.NewWriter(c),
+		w:    bufio.NewWriterSize(c, writeBuf),
 		r:    bufio.NewReader(c),
+	}
+}
+
+// setNoDelay disables Nagle's algorithm on TCP connections. Go's net package
+// does this by default, but the transport's write-coalescing contract depends
+// on it (a flush must hit the wire now, not after a delayed-ack timer), so it
+// is set explicitly rather than inherited from a default that could change.
+func setNoDelay(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
 	}
 }
 
@@ -45,10 +84,10 @@ func (c *tcpConn) Send(e wire.Envelope) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
 	if err := wire.WriteFrame(c.w, e); err != nil {
-		return err
+		return c.sendErr(err)
 	}
 	if err := c.w.Flush(); err != nil {
-		return err
+		return c.sendErr(err)
 	}
 	countSend(e)
 	return nil
@@ -65,10 +104,10 @@ func (c *tcpConn) SendEncoded(enc *Encoded) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
 	if _, err := c.w.Write(frame); err != nil {
-		return err
+		return c.sendErr(err)
 	}
 	if err := c.w.Flush(); err != nil {
-		return err
+		return c.sendErr(err)
 	}
 	countSend(enc.Env())
 	return nil
@@ -86,14 +125,14 @@ func (c *tcpConn) SendBatch(batch []Outgoing) error {
 				return err
 			}
 			if _, err := c.w.Write(frame); err != nil {
-				return err
+				return c.sendErr(err)
 			}
 		} else if err := wire.WriteFrame(c.w, o.Env); err != nil {
-			return err
+			return c.sendErr(err)
 		}
 	}
 	if err := c.w.Flush(); err != nil {
-		return err
+		return c.sendErr(err)
 	}
 	for _, o := range batch {
 		countSend(o.Envelope())
@@ -104,20 +143,49 @@ func (c *tcpConn) SendBatch(batch []Outgoing) error {
 func (c *tcpConn) Recv() (wire.Envelope, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
-	e, err := wire.ReadFrame(c.r)
-	if err == nil {
+	if c.pending != nil {
+		e := *c.pending
+		c.pending = nil
 		countRecv(e)
+		return e, nil
 	}
-	return e, err
+	e, err := wire.ReadFrame(c.r)
+	if err != nil {
+		return wire.Envelope{}, c.recvErr(err)
+	}
+	countRecv(e)
+	return e, nil
 }
 
 func (c *tcpConn) Close() error {
+	c.closed.Store(true)
 	return c.conn.Close()
+}
+
+// sendErr and recvErr map the raw net errors of a locally closed connection
+// onto the transport's stable ErrClosed sentinel: after Close, pending and
+// future operations fail with an error callers can errors.Is against,
+// matching the in-memory transports. A peer's close stays io.EOF and a
+// network failure stays what it was — only the local-shutdown edge is
+// normalized.
+func (c *tcpConn) sendErr(err error) error {
+	if c.closed.Load() || errors.Is(err, net.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}
+
+func (c *tcpConn) recvErr(err error) error {
+	if c.closed.Load() || errors.Is(err, net.ErrClosed) {
+		return ErrClosed
+	}
+	return err
 }
 
 // tcpListener adapts a net.Listener.
 type tcpListener struct {
-	l net.Listener
+	l      net.Listener
+	closed atomic.Bool
 }
 
 var _ Listener = (*tcpListener)(nil)
@@ -131,9 +199,15 @@ func ListenTCP(addr string) (Listener, error) {
 	return &tcpListener{l: l}, nil
 }
 
+// Accept blocks until a connection arrives. After Close — including a Close
+// that lands while Accept is blocked — it returns ErrClosed, the same stable
+// sentinel every transport uses, rather than a raw net error string.
 func (t *tcpListener) Accept() (Conn, error) {
 	c, err := t.l.Accept()
 	if err != nil {
+		if t.closed.Load() || errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
 		return nil, err
 	}
 	return NewNetConn(c), nil
@@ -141,4 +215,7 @@ func (t *tcpListener) Accept() (Conn, error) {
 
 func (t *tcpListener) Addr() string { return t.l.Addr().String() }
 
-func (t *tcpListener) Close() error { return t.l.Close() }
+func (t *tcpListener) Close() error {
+	t.closed.Store(true)
+	return t.l.Close()
+}

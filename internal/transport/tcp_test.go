@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"enclaves/internal/wire"
+)
+
+// TestTCPAcceptAfterClose pins the shutdown sentinel: Accept on a closed
+// listener returns ErrClosed, whether the Close lands before the Accept call
+// or while one is blocked.
+func TestTCPAcceptAfterClose(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("blocked Accept after Close: err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Accept did not unblock on Close")
+	}
+	// Accept after Close also returns the sentinel, stably.
+	for i := 0; i < 3; i++ {
+		if _, err := l.Accept(); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Accept #%d after Close: err = %v, want ErrClosed", i, err)
+		}
+	}
+}
+
+// TestTCPCloseUnblocksInflightRecv pins the conn-side shutdown edge: a Recv
+// blocked on the socket must unblock when the connection is closed locally,
+// and report ErrClosed rather than a raw net error.
+func TestTCPCloseUnblocksInflightRecv(t *testing.T) {
+	client, server := tcpPair(t)
+	defer server.Close()
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := client.Recv()
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("in-flight Recv after local Close: err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+	// Subsequent operations stay on the sentinel.
+	if _, err := client.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Recv after Close: err = %v, want ErrClosed", err)
+	}
+	if err := client.Send(env(wire.TypeAck, "a", "x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestTCPPeerCloseIsNotErrClosed pins the other side of the contract: a
+// connection closed by the *peer* surfaces the underlying io error (EOF), not
+// ErrClosed — callers distinguish "I hung up" from "they hung up".
+func TestTCPPeerCloseIsNotErrClosed(t *testing.T) {
+	client, server := tcpPair(t)
+	defer client.Close()
+	if err := server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := client.Recv()
+	if err == nil {
+		t.Fatal("Recv after peer close succeeded")
+	}
+	if errors.Is(err, ErrClosed) {
+		t.Fatalf("peer close reported as local ErrClosed: %v", err)
+	}
+}
+
+// tcpPair returns a connected (client, server) conn pair over loopback.
+func tcpPair(t *testing.T) (Conn, Conn) {
+	t.Helper()
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	type result struct {
+		c   Conn
+		err error
+	}
+	accepted := make(chan result, 1)
+	go func() {
+		c, err := l.Accept()
+		accepted <- result{c, err}
+	}()
+	client, err := DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-accepted
+	if r.err != nil {
+		client.Close()
+		t.Fatal(r.err)
+	}
+	return client, r.c
+}
+
+// BenchmarkTCPSendBatch measures the batched-flush path over a real loopback
+// socket at several write-buffer sizes — the EXPERIMENTS.md before/after
+// number for the sized-writer satellite (512 B approximates the old
+// bufio.NewWriter default behavior of flushing every few frames).
+func BenchmarkTCPSendBatch(b *testing.B) {
+	for _, bufSize := range []int{512, 4 << 10, DefaultWriteBuf} {
+		b.Run(fmt.Sprintf("buf=%d", bufSize), func(b *testing.B) {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				nc, err := l.Accept()
+				if err != nil {
+					return
+				}
+				defer nc.Close()
+				buf := make([]byte, 64<<10)
+				for {
+					if _, err := nc.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+			nc, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := NewNetConnSize(nc, bufSize)
+			defer c.Close()
+
+			const batchSize = 64
+			e := env(wire.TypeAppData, "alice", "0123456789abcdef0123456789abcdef")
+			batch := make([]Outgoing, batchSize)
+			for i := range batch {
+				batch[i] = Outgoing{Enc: NewEncoded(e)}
+			}
+			b.SetBytes(int64(batchSize * len(e.Payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.SendBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			nc.Close()
+			wg.Wait()
+		})
+	}
+}

@@ -253,17 +253,9 @@ func WriteFrame(w io.Writer, e Envelope) error {
 
 // ReadFrame reads one length-prefixed frame from r.
 func ReadFrame(r io.Reader) (Envelope, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+	data, err := ReadRawFrame(r)
+	if err != nil {
 		return Envelope{}, err
-	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
-	if n > MaxPayloadLen+1024 {
-		return Envelope{}, fmt.Errorf("%w: frame of %d bytes", ErrTooLarge, n)
-	}
-	data := make([]byte, n)
-	if _, err := io.ReadFull(r, data); err != nil {
-		return Envelope{}, fmt.Errorf("wire: read frame body: %w", err)
 	}
 	return Decode(data)
 }
@@ -317,6 +309,16 @@ func (p *parser) uint8() uint8 {
 	}
 	v := p.data[p.pos]
 	p.pos++
+	return v
+}
+
+func (p *parser) uint32() uint32 {
+	if p.err != nil || p.pos+4 > len(p.data) {
+		p.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(p.data[p.pos:])
+	p.pos += 4
 	return v
 }
 
